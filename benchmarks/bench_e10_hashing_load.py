@@ -1,0 +1,101 @@
+"""E10 — Lemma 3.1 / Appendix B: the four hashing regimes.
+
+Hash relations attribute-wise onto grids (the HyperCube primitive) and
+compare measured maximum bucket loads against:
+
+1. the ``m/p`` expectation (Lemma B.1),
+2. the ``O(m/p)`` matching bound (Lemma 3.1(2)),
+3. the ``O(polylog * m/p)`` skew-free bound (Lemma 3.1(3)),
+4. the ``O(m/min_i p_i)`` worst-case bound, tight by Example B.2.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import record
+from repro.balls import (
+    average_max_hash_load,
+    hash_relation_loads,
+    matching_hash_bound,
+    skew_free_hash_threshold,
+    worst_case_hash_bound,
+)
+from repro.data import matching_relation, single_value_relation, uniform_relation
+
+M = 8192
+
+
+@pytest.mark.parametrize("grid", [(64,), (8, 8), (4, 4, 4)])
+def test_matching_regime(benchmark, grid):
+    arity = len(grid)
+    rel = matching_relation("R", M, 4 * M, arity=arity, seed=61)
+    measured = benchmark(
+        lambda: average_max_hash_load(rel, list(grid), trials=3, seed=0)
+    )
+    p = 1
+    for share in grid:
+        p *= share
+    bound = matching_hash_bound(M, p)
+    record(
+        benchmark,
+        "E10",
+        regime="matching",
+        grid=str(grid),
+        measured=measured,
+        expectation=M / p,
+        bound_3m_over_p=bound.threshold,
+    )
+    assert measured <= bound.threshold
+    assert measured >= M / p
+
+
+@pytest.mark.parametrize("grid", [(8, 8), (4, 16)])
+def test_skew_free_regime(benchmark, grid):
+    rel = uniform_relation("R", M, 16 * M, seed=62)
+    measured = benchmark(
+        lambda: average_max_hash_load(rel, list(grid), trials=3, seed=0)
+    )
+    bound = skew_free_hash_threshold(M, list(grid))
+    record(
+        benchmark,
+        "E10",
+        regime="skew-free",
+        grid=str(grid),
+        measured=measured,
+        polylog_bound=bound,
+    )
+    assert measured <= bound
+
+
+def test_worst_case_regime_example_b2(benchmark):
+    """Example B.2: all tuples share the first attribute — the load is
+    m / p_2, exactly the Lemma 3.1(4) ceiling."""
+    grid = (8, 8)
+    rel = single_value_relation("R", M // 4, M, fixed_position=0, seed=63)
+    measured = benchmark(lambda: average_max_hash_load(rel, list(grid), trials=3))
+    m = rel.cardinality
+    ceiling = worst_case_hash_bound(m, list(grid))
+    record(
+        benchmark,
+        "E10",
+        regime="worst-case",
+        grid=str(grid),
+        measured=measured,
+        m_over_min_share=ceiling,
+        m_over_p=m / 64,
+    )
+    # Tightness: the single pinned column forces ~m/8, far above m/64.
+    assert measured >= 0.5 * ceiling / 3
+    assert measured >= 3 * m / 64
+    assert measured <= 3 * ceiling
+
+
+def test_mean_load_is_m_over_p(benchmark):
+    """Lemma B.1: expectation exactly m/p (over occupied + empty buckets)."""
+    grid = (8, 8)
+    rel = uniform_relation("R", M, 16 * M, seed=64)
+    loads = benchmark(lambda: hash_relation_loads(rel, list(grid), seed=1))
+    mean = sum(loads.values()) / 64
+    record(benchmark, "E10", regime="mean", mean=mean, m_over_p=M / 64)
+    assert abs(mean - M / 64) < 1e-9

@@ -1,0 +1,102 @@
+"""E11 — Section 1's warm-up: the cartesian-product grid algorithm achieves
+``Theta(sqrt(m1 m2 / p))`` and degrades to broadcast when one side is tiny
+(footnotes 1 and 2).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import record
+from repro.core import CartesianProductAlgorithm, cartesian_lower_bound_bits
+from repro.data import uniform_relation
+from repro.mpc import run_one_round
+from repro.query import cartesian_product_query
+from repro.seq import Database
+
+P = 16
+
+RATIOS = [(4096, 4096), (8192, 2048), (16384, 1024)]
+
+
+@pytest.mark.parametrize("m1,m2", RATIOS)
+def test_two_way_grid_optimality(benchmark, m1, m2):
+    query = cartesian_product_query(2)
+    db = Database.from_relations(
+        [
+            uniform_relation("S1", m1, 10**6, arity=1, seed=71),
+            uniform_relation("S2", m2, 10**6, arity=1, seed=72),
+        ]
+    )
+    algo = CartesianProductAlgorithm(query)
+    result = benchmark(
+        lambda: run_one_round(algo, db, P, compute_answers=False)
+    )
+    bits = {name: db.relation(name).bits for name in ("S1", "S2")}
+    bound = cartesian_lower_bound_bits(bits, P)
+    record(
+        benchmark,
+        "E11",
+        m1=m1,
+        m2=m2,
+        grid=str(result.details["grid"]),
+        measured_bits=result.max_load_bits,
+        bound_bits=bound,
+        ratio=result.max_load_bits / bound,
+    )
+    assert result.max_load_bits >= bound  # footnote 2's lower bound
+    assert result.max_load_bits <= 4 * bound  # and the grid nearly meets it
+
+
+def test_broadcast_regime(benchmark):
+    """m1 < m2/p: the grid gives S1 a single slice (= broadcast), and the
+    load is ~m2/p — within 2x of any algorithm (footnote 1)."""
+    query = cartesian_product_query(2)
+    m1, m2 = 16, 32768
+    db = Database.from_relations(
+        [
+            uniform_relation("S1", m1, 10**6, arity=1, seed=73),
+            uniform_relation("S2", m2, 10**6, arity=1, seed=74),
+        ]
+    )
+    algo = CartesianProductAlgorithm(query)
+    result = benchmark(
+        lambda: run_one_round(algo, db, P, compute_answers=False)
+    )
+    record(
+        benchmark,
+        "E11",
+        grid=str(result.details["grid"]),
+        measured_bits=result.max_load_bits,
+        storage_bound_bits=db.relation("S2").bits / P,
+    )
+    assert result.details["grid"]["S1"] == 1
+    assert result.max_load_bits <= 3 * db.relation("S2").bits / P
+
+
+def test_three_way_product(benchmark):
+    """u-way generalization: load ~ (m1 m2 m3 / p)^(1/3)."""
+    query = cartesian_product_query(3)
+    db = Database.from_relations(
+        [
+            uniform_relation("S1", 2048, 10**6, arity=1, seed=75),
+            uniform_relation("S2", 2048, 10**6, arity=1, seed=76),
+            uniform_relation("S3", 2048, 10**6, arity=1, seed=77),
+        ]
+    )
+    p = 27
+    algo = CartesianProductAlgorithm(query)
+    result = benchmark(
+        lambda: run_one_round(algo, db, p, compute_answers=False)
+    )
+    bits = {name: db.relation(name).bits for name in ("S1", "S2", "S3")}
+    bound = cartesian_lower_bound_bits(bits, p)
+    record(
+        benchmark,
+        "E11",
+        case="three-way",
+        measured_bits=result.max_load_bits,
+        bound_bits=bound,
+        ratio=result.max_load_bits / bound,
+    )
+    assert bound <= result.max_load_bits <= 6 * bound

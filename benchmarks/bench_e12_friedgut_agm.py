@@ -1,0 +1,111 @@
+"""E12 — Section 2.3 + Lemma A.1: Friedgut's inequality, the AGM bound, and
+the expected answer count on random instances.
+
+Regenerates: |C3| vs sqrt(m1 m2 m3) on random graphs; the Friedgut gap for
+random weights; and the empirical average of |q(I)| against
+``n^(k-a) prod_j m_j``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from conftest import record
+from repro.core import agm_bound, check_agm, expected_answer_count, friedgut_gap
+from repro.data import uniform_relation
+from repro.query import simple_join_query, triangle_query
+from repro.seq import Database, count_answers
+
+
+def _triangle_db(m, n, seed):
+    return Database.from_relations(
+        [
+            uniform_relation("S1", m, n, seed=seed),
+            uniform_relation("S2", m, n, seed=seed + 1),
+            uniform_relation("S3", m, n, seed=seed + 2),
+        ]
+    )
+
+
+@pytest.mark.parametrize("density", ["sparse", "dense"])
+def test_agm_bound_on_triangles(benchmark, density):
+    m, n = (800, 2000) if density == "sparse" else (800, 80)
+    query = triangle_query()
+    db = _triangle_db(m, n, seed=81)
+    actual, bound = benchmark(lambda: check_agm(query, db))
+    record(
+        benchmark,
+        "E12",
+        density=density,
+        actual=actual,
+        agm_bound=bound,
+        slack=bound / max(actual, 1),
+    )
+    assert actual <= bound
+    assert math.isclose(bound, m**1.5, rel_tol=1e-9)
+
+
+def test_friedgut_gap_random_weights(benchmark):
+    query = triangle_query()
+    rng = random.Random(82)
+    weights = {
+        name: {
+            (rng.randrange(15), rng.randrange(15)): rng.random() * 4
+            for _ in range(60)
+        }
+        for name in ("S1", "S2", "S3")
+    }
+    cover = {"S1": 0.5, "S2": 0.5, "S3": 0.5}
+    lhs, rhs = benchmark(lambda: friedgut_gap(query, cover, weights))
+    record(benchmark, "E12", lhs=lhs, rhs=rhs, gap=rhs / max(lhs, 1e-12))
+    assert lhs <= rhs * (1 + 1e-9)
+
+
+def test_lemma_a1_expected_answers(benchmark):
+    """Average |q(I)| over random instances vs n^(k-a) prod m_j."""
+    query = simple_join_query()
+    m, n, trials = 400, 150, 20
+
+    def average():
+        total = 0
+        for seed in range(trials):
+            db = Database.from_relations(
+                [
+                    uniform_relation("S1", m, n, seed=1000 + 2 * seed),
+                    uniform_relation("S2", m, n, seed=1001 + 2 * seed),
+                ]
+            )
+            total += count_answers(query, db)
+        return total / trials
+
+    measured = benchmark(average)
+    predicted = expected_answer_count(query, {"S1": m, "S2": m}, n)
+    record(
+        benchmark,
+        "E12",
+        measured_mean=measured,
+        lemma_a1=predicted,
+        ratio=measured / predicted,
+    )
+    assert 0.85 <= measured / predicted <= 1.15
+
+
+def test_agm_cover_shift_with_sizes(benchmark):
+    """The minimizing cover adapts to unequal sizes (Section 2.3)."""
+    query = triangle_query()
+
+    def bounds():
+        balanced = agm_bound(query, {"S1": 1000, "S2": 1000, "S3": 1000})
+        lopsided = agm_bound(query, {"S1": 1000, "S2": 1000, "S3": 4})
+        return balanced, lopsided
+
+    balanced, lopsided = benchmark(bounds)
+    record(benchmark, "E12", balanced=balanced, lopsided=lopsided)
+    assert math.isclose(balanced, 1000**1.5, rel_tol=1e-9)
+    # With S3 tiny the cover (1/2,1/2,1/2) gives sqrt(1000*1000*4) = 2000,
+    # a sqrt(1000/4) ~ 16x drop from the balanced 1000^1.5 ~ 31623.
+    assert math.isclose(lopsided, 2000.0, rel_tol=1e-9)
+    assert lopsided < balanced / 10

@@ -1,0 +1,130 @@
+"""E6 — Section 4.1: the skew-aware join across a Zipf skew sweep.
+
+Regenerates the load-vs-skew series for four algorithms (hash join, equal-
+share HyperCube, the Section 4.1 skew join, the Section 4.2 bin algorithm)
+plus the formula-(10) bound, and ablates the heavy-hitter threshold.
+The paper's claim: the skew-aware algorithm tracks
+``max(m1/p, m2/p, L12, ...)`` while the hash join deteriorates with skew.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import record
+from repro.core import (
+    BinHyperCubeAlgorithm,
+    HashJoinAlgorithm,
+    HyperCubeAlgorithm,
+    SkewAwareJoin,
+    skew_join_load_bound,
+)
+from repro.data import zipf_relation
+from repro.mpc import run_one_round
+from repro.query import simple_join_query
+from repro.seq import Database
+from repro.stats import HeavyHitterStatistics
+
+P = 32
+M = 2000
+SKEWS = [0.0, 0.5, 1.0, 1.5, 2.0]
+
+
+def _db(skew: float) -> Database:
+    domain = 8 * M if skew < 1.0 else 4 * M
+    return Database.from_relations(
+        [
+            zipf_relation("S1", M, domain, skew=skew, seed=21),
+            zipf_relation("S2", M, domain, skew=skew, seed=22),
+        ]
+    )
+
+
+def _algorithms(query):
+    return {
+        "hashjoin": HashJoinAlgorithm(query, P),
+        "hc-equal": HyperCubeAlgorithm.with_equal_shares(query, P),
+        "skew-join": SkewAwareJoin(query),
+        "bin-hc": BinHyperCubeAlgorithm(query),
+    }
+
+
+@pytest.mark.parametrize("skew", SKEWS)
+def test_skew_sweep(benchmark, skew):
+    query = simple_join_query()
+    db = _db(skew)
+
+    def run_all():
+        return {
+            name: run_one_round(algo, db, P, compute_answers=False).max_load_tuples
+            for name, algo in _algorithms(query).items()
+        }
+
+    loads = benchmark(run_all)
+    stats = HeavyHitterStatistics.of(query, db, P)
+    bound = skew_join_load_bound(stats, query, in_bits=False)
+    record(
+        benchmark,
+        "E6",
+        skew=skew,
+        **loads,
+        formula10=bound["bound"],
+        heavy_hitters=stats.total_heavy_count(),
+    )
+    # The skew-aware join never collapses: stays within O(log p) of (10).
+    assert loads["skew-join"] <= 12 * bound["bound"] + 2 * M / P
+    if skew >= 1.5:
+        # Under strong skew the skew-aware join beats the hash join.
+        assert loads["skew-join"] < loads["hashjoin"]
+
+
+def test_crossover_series(benchmark):
+    """The hash-join-to-skew-join load ratio grows with the skew."""
+    query = simple_join_query()
+
+    def series():
+        ratios = []
+        for skew in (0.0, 1.0, 2.0):
+            db = _db(skew)
+            hash_load = run_one_round(
+                HashJoinAlgorithm(query, P), db, P, compute_answers=False
+            ).max_load_tuples
+            skew_load = run_one_round(
+                SkewAwareJoin(query), db, P, compute_answers=False
+            ).max_load_tuples
+            ratios.append(hash_load / skew_load)
+        return ratios
+
+    ratios = benchmark(series)
+    record(
+        benchmark,
+        "E6",
+        ratio_s0=ratios[0],
+        ratio_s1=ratios[1],
+        ratio_s2=ratios[2],
+    )
+    assert ratios[-1] > ratios[0]  # skew widens the gap
+    assert ratios[-1] > 2.0
+
+
+@pytest.mark.parametrize("threshold_factor", [0.5, 1.0, 2.0])
+def test_threshold_ablation(benchmark, threshold_factor):
+    """Ablation: the m_j/p threshold scale barely moves the load."""
+    query = simple_join_query()
+    db = _db(1.5)
+    stats = HeavyHitterStatistics.of(
+        query, db, P, threshold_factor=threshold_factor
+    )
+    algo = SkewAwareJoin(query, stats=stats)
+    result = benchmark(
+        lambda: run_one_round(algo, db, P, compute_answers=False)
+    )
+    record(
+        benchmark,
+        "E6-ablation",
+        threshold_factor=threshold_factor,
+        max_load_tuples=result.max_load_tuples,
+        heavy=stats.total_heavy_count(),
+    )
+    verify = run_one_round(algo, db, P, verify=True)
+    assert verify.is_complete

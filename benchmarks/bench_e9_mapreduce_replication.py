@@ -1,0 +1,121 @@
+"""E9 — Section 5, Theorem 5.1 and Example 5.2: replication rate in the
+MapReduce model.
+
+For the triangle query with equal sizes, sweeps the reducer budget ``L``
+and regenerates (measured HC replication rate, the ``sqrt(M/L)/3`` lower
+bound, reducer counts); the shapes must track each other.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from conftest import record
+from repro.core import (
+    minimum_reducers,
+    replication_rate_lower_bound,
+    triangle_replication_shape,
+)
+from repro.data import uniform_relation
+from repro.mr import hypercube_mapreduce
+from repro.query import triangle_query
+from repro.seq import Database
+from repro.stats import SimpleStatistics
+
+M_TUPLES = 3000
+DOMAIN = 9000
+
+
+def _db():
+    return Database.from_relations(
+        [
+            uniform_relation("S1", M_TUPLES, DOMAIN, seed=51),
+            uniform_relation("S2", M_TUPLES, DOMAIN, seed=52),
+            uniform_relation("S3", M_TUPLES, DOMAIN, seed=53),
+        ]
+    )
+
+
+BUDGET_DIVISORS = [4, 16, 64]
+
+
+@pytest.mark.parametrize("divisor", BUDGET_DIVISORS)
+def test_replication_sweep(benchmark, divisor):
+    query = triangle_query()
+    db = _db()
+    stats = SimpleStatistics.of(db)
+    bits = stats.bits_vector(query)
+    m_bits = bits["S1"]
+    reducer_bits = m_bits / divisor
+
+    run = benchmark(
+        lambda: hypercube_mapreduce(query, db, reducer_bits=reducer_bits)
+    )
+    bound, packing = replication_rate_lower_bound(query, bits, reducer_bits)
+    shape = triangle_replication_shape(m_bits, reducer_bits)
+    record(
+        benchmark,
+        "E9",
+        L_over_M=f"1/{divisor}",
+        reducers=run.reducers,
+        measured_rate=run.result.replication_rate,
+        bound_rate=bound,
+        sqrt_shape=shape,
+        min_reducers=minimum_reducers(bound, 3 * m_bits, reducer_bits),
+    )
+    # Shape claim: measured replication within constants of sqrt(M/L)/3.
+    assert run.result.replication_rate >= bound * 0.3
+    assert run.result.replication_rate <= shape * 3 + 3
+
+
+def test_rate_scales_as_sqrt(benchmark):
+    """Quadrupling the budget should halve the measured rate, roughly."""
+    query = triangle_query()
+    db = _db()
+    stats = SimpleStatistics.of(db)
+    m_bits = stats.bits("S1")
+
+    def pair():
+        small = hypercube_mapreduce(query, db, reducer_bits=m_bits / 64)
+        large = hypercube_mapreduce(query, db, reducer_bits=m_bits / 4)
+        return small.result.replication_rate, large.result.replication_rate
+
+    tight, loose = benchmark(pair)
+    record(
+        benchmark,
+        "E9",
+        rate_L_small=tight,
+        rate_L_large=loose,
+        ratio=tight / loose,
+        sqrt_prediction=math.sqrt(16),
+    )
+    # HC reducer counts move in powers of two, so allow a wide band around 4.
+    assert 1.5 <= tight / loose <= 10.0
+
+
+def test_reducer_count_shape(benchmark):
+    """Example 5.2: reducers scale like (M/L)^(3/2)."""
+    query = triangle_query()
+    db = _db()
+    stats = SimpleStatistics.of(db)
+    m_bits = stats.bits("S1")
+
+    def counts():
+        return [
+            hypercube_mapreduce(query, db, reducer_bits=m_bits / d).reducers
+            for d in (4, 16, 64)
+        ]
+
+    reducer_counts = benchmark(counts)
+    record(
+        benchmark,
+        "E9",
+        reducers_by_budget=str(reducer_counts),
+        shape_prediction=str([int(d ** 1.5) for d in (4, 16, 64)]),
+    )
+    assert reducer_counts == sorted(reducer_counts)
+    # (M/L)^(3/2): from divisor 4 to 64 the count should grow ~64x,
+    # modulo power-of-two rounding.
+    assert reducer_counts[-1] >= 16 * reducer_counts[0]

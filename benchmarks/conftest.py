@@ -1,0 +1,25 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every benchmark regenerates one experiment from DESIGN.md's index (E1-E12).
+The timed body is the interesting computation (routing a round, solving the
+LPs); the scientific payload — measured load vs. the paper's closed-form
+bound — lands in ``benchmark.extra_info`` and is printed as a table row so
+``pytest benchmarks/ --benchmark-only`` output doubles as the experiment log.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+def record(benchmark: Any, experiment: str, **values: Any) -> None:
+    """Stash experiment measurements and echo them as a readable row."""
+    formatted = {}
+    for key, value in values.items():
+        if isinstance(value, float):
+            formatted[key] = f"{value:.4g}"
+        else:
+            formatted[key] = str(value)
+    benchmark.extra_info.update({"experiment": experiment, **formatted})
+    row = "  ".join(f"{k}={v}" for k, v in formatted.items())
+    print(f"\n[{experiment}] {row}")

@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""A tour of the share-optimization machinery (Section 3).
+
+For a catalog of query shapes and cardinality profiles, prints:
+
+* the fractional edge packing polytope's interesting vertices ``pk(q)``,
+* ``tau*`` and its dual, the fractional vertex-cover number,
+* the exact LP share exponents, the closed-form optimal load, and the
+  statistics-aware space exponent of Section 3.3.
+
+This is the 'query optimizer' view of the paper: everything here is
+computable from the statistics alone, before a single tuple moves.
+
+Run:  python examples/share_optimization.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    SimpleStatistics,
+    fractional_vertex_cover_number,
+    lower_bound,
+    maximum_packing_value,
+    non_dominated_packing_vertices,
+    optimal_share_exponents,
+    space_exponent,
+)
+from repro.query import (
+    chain_query,
+    clique_query,
+    simple_join_query,
+    star_query,
+    triangle_query,
+)
+
+P = 64
+
+PROFILES = {
+    "join, equal sizes": (simple_join_query(), {"S1": 2**20, "S2": 2**20}),
+    "join, 16:1 sizes": (simple_join_query(), {"S1": 2**22, "S2": 2**18}),
+    "triangle, equal": (
+        triangle_query(),
+        {"S1": 2**20, "S2": 2**20, "S3": 2**20},
+    ),
+    "triangle, mixed": (
+        triangle_query(),
+        {"S1": 2**22, "S2": 2**19, "S3": 2**14},
+    ),
+    "chain L3": (
+        chain_query(3),
+        {"S1": 2**20, "S2": 2**18, "S3": 2**20},
+    ),
+    "star, 3 rays": (
+        star_query(3),
+        {"S1": 2**20, "S2": 2**19, "S3": 2**18},
+    ),
+    "clique K4, equal": (
+        clique_query(4),
+        {f"S{i}_{j}": 2**18 for i in range(1, 5) for j in range(i + 1, 5)},
+    ),
+}
+
+
+def main() -> None:
+    for label, (query, cardinalities) in PROFILES.items():
+        stats = SimpleStatistics.from_cardinalities(
+            query, cardinalities, domain_size=2**24
+        )
+        bits = stats.bits_vector(query)
+
+        print("=" * 72)
+        print(f"{label}: {query}")
+        tau = maximum_packing_value(query)
+        cover = fractional_vertex_cover_number(query)
+        print(f"  tau* = {tau} (= fractional vertex cover number {cover})")
+
+        vertices = non_dominated_packing_vertices(query)
+        print(f"  pk(q): {len(vertices)} non-dominated vertices")
+        for vertex in vertices[:6]:
+            print("    u = {" + ", ".join(
+                f"{name}: {value}" for name, value in sorted(vertex.items())
+                if value != 0
+            ) + "}")
+
+        solution = optimal_share_exponents(query, bits, P)
+        shares = {
+            var: f"p^{float(e):.3f}"
+            for var, e in solution.exponents.items()
+            if e != 0
+        }
+        print(f"  optimal shares (p={P}): {shares or 'all 1'}")
+        bound = lower_bound(query, bits, P)
+        print(f"  optimal load: {bound.bits:,.0f} bits "
+              f"(= p^{float(solution.lam):.4f})")
+        eps = space_exponent(query, bits, P)
+        print(f"  space exponent: {eps:.4f} "
+              f"(replication grows as p^{max(eps, 0):.3f})")
+    print("=" * 72)
+
+
+if __name__ == "__main__":
+    main()

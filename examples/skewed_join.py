@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Skewed joins: how the paper's algorithms tame heavy hitters.
+
+The motivating scenario of Section 4: an analytics join whose key follows a
+Zipf distribution (a social-network fan-out, a retail 'best-seller' key...).
+The script sweeps the skew parameter and races four one-round algorithms:
+
+* the classic parallel hash join (collapses under skew),
+* HyperCube with equal shares (skew-resilient, Corollary 3.2(ii)),
+* the Section 4.1 skew-aware join (near-optimal, knows the heavy hitters),
+* the Section 4.2 bin-combination algorithm (general queries).
+
+It also prints formula (10)'s load bound and the residual lower bound of
+Theorem 4.7, showing the measured loads are sandwiched as the paper proves.
+
+Run:  python examples/skewed_join.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    BinHyperCubeAlgorithm,
+    Database,
+    HashJoinAlgorithm,
+    HyperCubeAlgorithm,
+    SkewAwareJoin,
+    residual_lower_bound,
+    run_one_round,
+    skew_join_load_bound,
+)
+from repro.data import zipf_relation
+from repro.query import simple_join_query
+from repro.stats import DegreeStatistics, HeavyHitterStatistics
+
+P = 32
+M = 3000
+
+
+def make_db(skew: float) -> Database:
+    domain = 8 * M if skew < 1.0 else 4 * M
+    return Database.from_relations(
+        [
+            zipf_relation("S1", M, domain, skew=skew, seed=11),
+            zipf_relation("S2", M, domain, skew=skew, seed=12),
+        ]
+    )
+
+
+def main() -> None:
+    query = simple_join_query()
+    print(f"query: {query},  m = {M} tuples/relation,  p = {P} servers")
+    header = (
+        f"{'skew':>5} {'hash-join':>10} {'hc-equal':>10} {'skew-join':>10} "
+        f"{'bin-hc':>8} {'formula(10)':>12} {'thm4.7 LB':>10}"
+    )
+    print("\nmax load per server (tuples):")
+    print(header)
+    print("-" * len(header))
+
+    for skew in (0.0, 0.5, 1.0, 1.5, 2.0):
+        db = make_db(skew)
+        algorithms = {
+            "hash": HashJoinAlgorithm(query, P),
+            "cube": HyperCubeAlgorithm.with_equal_shares(query, P),
+            "skew": SkewAwareJoin(query),
+            "bins": BinHyperCubeAlgorithm(query),
+        }
+        loads = {}
+        for name, algorithm in algorithms.items():
+            result = run_one_round(algorithm, db, P, compute_answers=False)
+            loads[name] = result.max_load_tuples
+
+        hh_stats = HeavyHitterStatistics.of(query, db, P)
+        formula10 = skew_join_load_bound(hh_stats, query, in_bits=False)["bound"]
+        degree_stats = DegreeStatistics.of(query, db, {"z"})
+        residual = residual_lower_bound(query, degree_stats, P)
+        tuple_bits = db.relation("S1").tuple_bits
+        lower_tuples = residual.bits / tuple_bits if residual else 0.0
+
+        print(
+            f"{skew:>5.1f} {loads['hash']:>10} {loads['cube']:>10} "
+            f"{loads['skew']:>10} {loads['bins']:>8} {formula10:>12.0f} "
+            f"{lower_tuples:>10.0f}"
+        )
+
+    print(
+        "\nReading the table: the hash join deteriorates as skew grows, the\n"
+        "equal-share cube pays a fixed p^(1/3) replication but never\n"
+        "collapses, and the skew-aware algorithms track the bounds."
+    )
+
+    # Verify completeness once at the heaviest skew (outputs are large).
+    db = make_db(2.0)
+    for algorithm in (SkewAwareJoin(query), BinHyperCubeAlgorithm(query)):
+        result = run_one_round(algorithm, db, P, verify=True)
+        status = "complete" if result.is_complete else "INCOMPLETE"
+        print(f"verification at skew=2.0: {algorithm.name} is {status} "
+              f"({result.answer_count} answers)")
+        assert result.is_complete
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,110 @@
+"""repro — a reproduction of *Skew in Parallel Query Processing*
+(Beame, Koutris, Suciu, PODS 2014; arXiv:1401.1872).
+
+The package implements the MPC model, the HyperCube algorithm with
+LP-optimal shares, the skew-aware one-round algorithms of Section 4, and
+the matching communication lower bounds — plus every substrate they need
+(conjunctive queries, an exact rational LP solver, a cluster simulator,
+workload generators, balls-into-bins analysis, and the Section 5 MapReduce
+model).
+
+Quickstart::
+
+    from repro import (
+        parse_query, Database, SimpleStatistics,
+        HyperCubeAlgorithm, run_one_round, lower_bound,
+    )
+    from repro.data import uniform_relation
+
+    q = parse_query("q(x, y, z) :- S1(x, z), S2(y, z)")
+    db = Database.from_relations([
+        uniform_relation("S1", 4096, 10_000, seed=1),
+        uniform_relation("S2", 4096, 10_000, seed=2),
+    ])
+    stats = SimpleStatistics.of(db)
+    algo = HyperCubeAlgorithm.with_optimal_shares(q, stats, p=64)
+    result = run_one_round(algo, db, p=64, verify=True)
+    assert result.is_complete
+    print(result.max_load_bits, lower_bound(q, stats.bits_vector(q), 64).bits)
+"""
+
+from .core import (
+    BinHyperCubeAlgorithm,
+    BroadcastHyperCube,
+    CartesianProductAlgorithm,
+    HashJoinAlgorithm,
+    HyperCubeAlgorithm,
+    SkewAwareJoin,
+    agm_bound,
+    best_residual_lower_bound,
+    fractional_edge_cover_number,
+    fractional_vertex_cover_number,
+    lower_bound,
+    maximum_packing_value,
+    non_dominated_packing_vertices,
+    optimal_share_exponents,
+    replication_rate_lower_bound,
+    residual_lower_bound,
+    skew_join_load_bound,
+    space_exponent,
+    vertex_loads,
+)
+from .mpc import Cluster, ExecutionResult, HashFamily, LoadReport, run_one_round
+from .query import (
+    Atom,
+    ConjunctiveQuery,
+    QueryError,
+    parse_query,
+    residual_query,
+    triangle_query,
+)
+from .seq import Database, Relation, RelationError, count_answers, evaluate
+from .stats import (
+    DegreeStatistics,
+    HeavyHitterStatistics,
+    SimpleStatistics,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BinHyperCubeAlgorithm",
+    "BroadcastHyperCube",
+    "CartesianProductAlgorithm",
+    "HashJoinAlgorithm",
+    "HyperCubeAlgorithm",
+    "SkewAwareJoin",
+    "agm_bound",
+    "best_residual_lower_bound",
+    "fractional_edge_cover_number",
+    "fractional_vertex_cover_number",
+    "lower_bound",
+    "maximum_packing_value",
+    "non_dominated_packing_vertices",
+    "optimal_share_exponents",
+    "replication_rate_lower_bound",
+    "residual_lower_bound",
+    "skew_join_load_bound",
+    "space_exponent",
+    "vertex_loads",
+    "Cluster",
+    "ExecutionResult",
+    "HashFamily",
+    "LoadReport",
+    "run_one_round",
+    "Atom",
+    "ConjunctiveQuery",
+    "QueryError",
+    "parse_query",
+    "residual_query",
+    "triangle_query",
+    "Database",
+    "Relation",
+    "RelationError",
+    "count_answers",
+    "evaluate",
+    "DegreeStatistics",
+    "HeavyHitterStatistics",
+    "SimpleStatistics",
+    "__version__",
+]

@@ -1,0 +1,32 @@
+"""Balls-into-bins: Chernoff bounds (Appendix C) and hashing simulations
+(Appendix B / Lemma 3.1)."""
+
+from .chernoff import (
+    TailBound,
+    matching_hash_bound,
+    skew_free_hash_threshold,
+    uniform_balls_bound,
+    weighted_balls_bound,
+    worst_case_hash_bound,
+)
+from .simulation import (
+    average_max_hash_load,
+    hash_relation_loads,
+    max_hash_load,
+    max_weighted_load,
+    throw_weighted_balls,
+)
+
+__all__ = [
+    "TailBound",
+    "matching_hash_bound",
+    "skew_free_hash_threshold",
+    "uniform_balls_bound",
+    "weighted_balls_bound",
+    "worst_case_hash_bound",
+    "average_max_hash_load",
+    "hash_relation_loads",
+    "max_hash_load",
+    "max_weighted_load",
+    "throw_weighted_balls",
+]

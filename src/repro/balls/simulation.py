@@ -1,0 +1,84 @@
+"""Balls-into-bins and relation-hashing simulations (Appendix B).
+
+These drive experiment E10: hash a relation ``R(A_1..A_r)`` onto a grid of
+``p_1 x ... x p_r`` buckets with one independent hash function per attribute
+(exactly the HyperCube primitive of Lemma 3.1) and measure the realized
+maximum bucket load, to compare against the four regimes of the lemma.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from typing import Mapping, Sequence
+
+from ..mpc.hashing import HashFamily
+from ..seq.relation import Relation
+
+
+def hash_relation_loads(
+    relation: Relation,
+    shares: Sequence[int],
+    seed: int = 0,
+) -> Counter:
+    """Bucket loads when hashing each tuple attribute-wise onto the grid.
+
+    ``shares[i]`` is the bucket count of attribute ``i``; tuples land in the
+    bucket ``(h_1(a_1), ..., h_r(a_r))`` as in Lemma 3.1.
+    """
+    if len(shares) != relation.arity:
+        raise ValueError(
+            f"need one share per attribute: got {len(shares)} for arity "
+            f"{relation.arity}"
+        )
+    hashes = HashFamily(seed)
+    loads: Counter = Counter()
+    for tup in relation.tuples:
+        bucket = tuple(
+            hashes.bucket(f"attr{i}", value, share)
+            for i, (value, share) in enumerate(zip(tup, shares))
+        )
+        loads[bucket] += 1
+    return loads
+
+
+def max_hash_load(
+    relation: Relation, shares: Sequence[int], seed: int = 0
+) -> int:
+    loads = hash_relation_loads(relation, shares, seed)
+    return max(loads.values(), default=0)
+
+
+def average_max_hash_load(
+    relation: Relation, shares: Sequence[int], trials: int = 5, seed: int = 0
+) -> float:
+    """Mean maximum bucket load over independent hash draws."""
+    total = 0
+    for trial in range(trials):
+        total += max_hash_load(relation, shares, seed=seed + 1000 * trial)
+    return total / trials
+
+
+def throw_weighted_balls(
+    weights: Mapping[int, float] | Sequence[float],
+    bins: int,
+    seed: int = 0,
+) -> list[float]:
+    """Throw weighted balls uniformly into ``bins``; returns bin weights.
+
+    The direct simulation of Lemma C.1's setting.
+    """
+    rng = random.Random(f"balls:{seed}")
+    loads = [0.0] * bins
+    values = (
+        weights.values() if isinstance(weights, Mapping) else weights
+    )
+    for weight in values:
+        loads[rng.randrange(bins)] += weight
+    return loads
+
+
+def max_weighted_load(
+    weights: Mapping[int, float] | Sequence[float], bins: int, seed: int = 0
+) -> float:
+    return max(throw_weighted_balls(weights, bins, seed), default=0.0)

@@ -1,0 +1,199 @@
+"""Command-line interface: inspect bounds and race algorithms from a shell.
+
+Three subcommands::
+
+    python -m repro bounds "q(x,y,z) :- S1(x,z), S2(y,z)" \
+        --cardinality S1=4096 --cardinality S2=1024 --domain 100000 -p 64
+
+    python -m repro race "q(x,y,z) :- S1(x,z), S2(y,z)" \
+        --workload zipf --skew 1.5 -m 2000 -p 32
+
+    python -m repro packings "C3(x,y,z) :- R(x,y), S(y,z), T(z,x)"
+
+``bounds`` prints the share LP solution, the packing-vertex table and the
+optimal load; ``race`` generates a workload and runs every applicable
+one-round algorithm with verification; ``packings`` prints ``pk(q)``,
+``tau*`` and the cover numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .core import (
+    BinHyperCubeAlgorithm,
+    HashJoinAlgorithm,
+    HyperCubeAlgorithm,
+    SkewAwareJoin,
+    fractional_edge_cover_number,
+    fractional_vertex_cover_number,
+    lower_bound,
+    maximum_packing_value,
+    non_dominated_packing_vertices,
+    optimal_share_exponents,
+    space_exponent,
+    vertex_loads,
+)
+from .data import single_value_relation, uniform_relation, zipf_relation
+from .mpc import run_one_round
+from .query import ConjunctiveQuery, QueryError, parse_query
+from .seq import Database
+from .stats import SimpleStatistics
+
+
+def _parse_cardinalities(pairs: Sequence[str]) -> dict[str, int]:
+    out: dict[str, int] = {}
+    for pair in pairs:
+        name, _, value = pair.partition("=")
+        if not value:
+            raise SystemExit(f"--cardinality expects NAME=COUNT, got {pair!r}")
+        out[name] = int(value)
+    return out
+
+
+def cmd_bounds(args: argparse.Namespace) -> int:
+    query = parse_query(args.query)
+    cardinalities = _parse_cardinalities(args.cardinality)
+    stats = SimpleStatistics.from_cardinalities(
+        query, cardinalities, domain_size=args.domain
+    )
+    bits = stats.bits_vector(query)
+    print(f"query: {query}")
+    print(f"p = {args.p}, domain = {args.domain}")
+    print("\npacking-vertex load table (pk(q)):")
+    for packing, value in vertex_loads(query, bits, args.p):
+        label = {k: str(v) for k, v in packing.items() if v != 0}
+        print(f"  u = {label}: {value:,.0f} bits")
+    bound = lower_bound(query, bits, args.p)
+    solution = optimal_share_exponents(query, bits, args.p)
+    print(f"\noptimal load (Theorem 3.6): {bound.bits:,.0f} bits")
+    print(f"share exponents: "
+          + ", ".join(f"{v}={float(e):.3f}" for v, e in solution.exponents.items()))
+    print(f"space exponent: {space_exponent(query, bits, args.p):.4f}")
+    return 0
+
+
+def cmd_packings(args: argparse.Namespace) -> int:
+    query = parse_query(args.query)
+    print(f"query: {query}")
+    print(f"tau* (max fractional edge packing)   : {maximum_packing_value(query)}")
+    print(f"fractional vertex cover number (dual): "
+          f"{fractional_vertex_cover_number(query)}")
+    print(f"rho* (min fractional edge cover)     : "
+          f"{fractional_edge_cover_number(query)}")
+    vertices = non_dominated_packing_vertices(query)
+    print(f"\npk(q): {len(vertices)} non-dominated vertices")
+    for vertex in vertices:
+        print("  " + ", ".join(
+            f"{name}={value}" for name, value in sorted(vertex.items())
+        ))
+    return 0
+
+
+def _make_workload(
+    query: ConjunctiveQuery, kind: str, m: int, skew: float, seed: int
+) -> Database:
+    relations = []
+    for i, atom in enumerate(query.atoms):
+        if kind == "uniform":
+            relations.append(
+                uniform_relation(atom.name, m, 8 * m, arity=atom.arity,
+                                 seed=seed + i)
+            )
+        elif kind == "zipf":
+            relations.append(
+                zipf_relation(atom.name, m, 4 * m, arity=atom.arity,
+                              skew=skew, seed=seed + i)
+            )
+        elif kind == "worst":
+            relations.append(
+                single_value_relation(atom.name, m, 8 * m, arity=atom.arity,
+                                      fixed_position=atom.arity - 1,
+                                      seed=seed + i)
+            )
+        else:
+            raise SystemExit(f"unknown workload {kind!r}")
+    return Database.from_relations(relations)
+
+
+def cmd_race(args: argparse.Namespace) -> int:
+    query = parse_query(args.query)
+    db = _make_workload(query, args.workload, args.m, args.skew, args.seed)
+    stats = SimpleStatistics.of(db)
+    algorithms: list = [
+        HyperCubeAlgorithm.with_optimal_shares(query, stats, args.p),
+        HyperCubeAlgorithm.with_equal_shares(query, args.p),
+        BinHyperCubeAlgorithm(query),
+    ]
+    try:
+        algorithms.append(HashJoinAlgorithm(query, args.p))
+    except QueryError:
+        pass
+    try:
+        algorithms.append(SkewAwareJoin(query))
+    except QueryError:
+        pass
+
+    bound = lower_bound(query, stats.bits_vector(query), args.p)
+    print(f"query: {query}")
+    print(f"workload: {args.workload} (m={args.m}, skew={args.skew}), "
+          f"p={args.p}")
+    print(f"Theorem 3.6 skew-free optimum: {bound.bits:,.0f} bits\n")
+    print(f"{'algorithm':>18} {'max load bits':>14} {'tuples':>7} "
+          f"{'repl.':>6} {'complete':>9}")
+    for algorithm in algorithms:
+        result = run_one_round(
+            algorithm, db, args.p, seed=args.seed, verify=args.verify
+        )
+        complete = "-" if result.is_complete is None else str(result.is_complete)
+        print(
+            f"{algorithm.name:>18} {result.max_load_bits:>14,.0f} "
+            f"{result.max_load_tuples:>7} "
+            f"{result.report.replication_rate:>6.2f} {complete:>9}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Skew in Parallel Query Processing (PODS 2014) toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    bounds = sub.add_parser("bounds", help="share LP + load bounds")
+    bounds.add_argument("query")
+    bounds.add_argument("--cardinality", action="append", default=[],
+                        help="NAME=COUNT (repeatable)")
+    bounds.add_argument("--domain", type=int, default=1_000_000)
+    bounds.add_argument("-p", type=int, default=64)
+    bounds.set_defaults(func=cmd_bounds)
+
+    packings = sub.add_parser("packings", help="pk(q), tau*, cover numbers")
+    packings.add_argument("query")
+    packings.set_defaults(func=cmd_packings)
+
+    race = sub.add_parser("race", help="run all algorithms on a workload")
+    race.add_argument("query")
+    race.add_argument("--workload", choices=["uniform", "zipf", "worst"],
+                      default="uniform")
+    race.add_argument("--skew", type=float, default=1.0)
+    race.add_argument("-m", type=int, default=1000)
+    race.add_argument("-p", type=int, default=16)
+    race.add_argument("--seed", type=int, default=0)
+    race.add_argument("--verify", action="store_true",
+                      help="also run the sequential join and check completeness")
+    race.set_defaults(func=cmd_race)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

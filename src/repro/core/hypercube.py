@@ -1,0 +1,179 @@
+"""The HyperCube (HC) algorithm (Section 3.1).
+
+Servers are arranged in a ``k``-dimensional grid with ``p_i`` *shares* per
+variable, ``prod_i p_i <= p``.  Each tuple of ``S_j`` knows its coordinates
+on the dimensions of its own variables (by hashing) and is replicated along
+every other dimension.  Every potential answer ``(a_1, ..., a_k)`` is then
+seen in full by the unique server ``(h_1(a_1), ..., h_k(a_k))``, so HC is
+always *correct*; the choice of shares only affects the load:
+
+* LP-optimal shares: load ``O(L_upper polylog p)`` on skew-free data
+  (Theorem 3.4) — :meth:`HyperCubeAlgorithm.with_optimal_shares`.
+* equal shares ``p^{1/k}``: load ``O(max_j M_j / p^{1/k})`` on *any* data —
+  the skew-resilience of Corollary 3.2(ii) —
+  :meth:`HyperCubeAlgorithm.with_equal_shares`.
+"""
+
+from __future__ import annotations
+
+import math
+from itertools import product
+from typing import Iterable, Mapping
+
+from ..mpc.execution import OneRoundAlgorithm, RoutingPlan
+from ..mpc.hashing import HashFamily
+from ..query.atoms import ConjunctiveQuery
+from ..seq.relation import Database, Tuple
+from ..stats.cardinality import SimpleStatistics
+from .shares import (
+    RoundingStrategy,
+    ShareError,
+    equal_integer_shares,
+    integer_shares,
+    optimal_share_exponents,
+    shares_product,
+)
+
+
+class HyperCubePlan(RoutingPlan):
+    """Routing for a fixed share vector.
+
+    The server grid is linearized in mixed radix over the query's variable
+    order; dimension ``i`` has stride ``prod_{i' > i} p_{i'}``.
+    """
+
+    def __init__(
+        self,
+        query: ConjunctiveQuery,
+        shares: Mapping[str, int],
+        hashes: HashFamily,
+        salt_prefix: str = "hc",
+    ) -> None:
+        self.query = query
+        self.shares = dict(shares)
+        self.hashes = hashes
+        self.salt_prefix = salt_prefix
+
+        variables = list(query.variables)
+        strides: dict[str, int] = {}
+        stride = 1
+        for var in reversed(variables):
+            strides[var] = stride
+            stride *= self.shares[var]
+
+        # Per-atom routing recipe: positions fixing coordinates, and the
+        # (stride, share) pairs of the free dimensions to replicate along.
+        self._recipes: dict[str, tuple[list[tuple[str, int, int]], list[tuple[int, int]]]] = {}
+        for atom in query.atoms:
+            fixed = [
+                (var, atom.positions_of(var)[0], strides[var])
+                for var in variables
+                if var in atom.variable_set
+            ]
+            free = [
+                (strides[var], self.shares[var])
+                for var in variables
+                if var not in atom.variable_set
+            ]
+            self._recipes[atom.name] = (fixed, free)
+
+    def destinations(self, relation_name: str, tup: Tuple) -> Iterable[int]:
+        fixed, free = self._recipes[relation_name]
+        base = 0
+        for var, position, stride in fixed:
+            share = self.shares[var]
+            base += stride * self.hashes.bucket(
+                f"{self.salt_prefix}:{var}", tup[position], share
+            )
+        if not free:
+            return (base,)
+        return (
+            base + sum(stride * coord for stride, coord in zip(
+                (s for s, _ in free), coords
+            ))
+            for coords in product(*(range(share) for _, share in free))
+        )
+
+    def describe(self) -> Mapping[str, object]:
+        return {
+            "shares": dict(self.shares),
+            "grid_size": shares_product(self.shares),
+        }
+
+
+class HyperCubeAlgorithm(OneRoundAlgorithm):
+    """HC with an explicit integer share vector."""
+
+    def __init__(
+        self,
+        query: ConjunctiveQuery,
+        shares: Mapping[str, int],
+        name: str = "hypercube",
+    ) -> None:
+        super().__init__(query, name)
+        missing = [v for v in query.variables if v not in shares]
+        if missing:
+            raise ShareError(f"missing shares for variables {missing}")
+        bad = [v for v, s in shares.items() if s < 1]
+        if bad:
+            raise ShareError(f"shares must be >= 1, got {bad}")
+        self.shares = {var: int(shares[var]) for var in query.variables}
+
+    @classmethod
+    def with_optimal_shares(
+        cls,
+        query: ConjunctiveQuery,
+        stats: SimpleStatistics,
+        p: int,
+        strategy: RoundingStrategy = "greedy",
+    ) -> "HyperCubeAlgorithm":
+        """Shares from the exact LP (5), rounded to integers (Theorem 3.4)."""
+        bits = stats.bits_vector(query)
+        if p < 2 or all(value <= 0 for value in bits.values()):
+            # Degenerate: one server, or an empty database — shares of 1
+            # everywhere are trivially optimal.
+            return cls(
+                query, {var: 1 for var in query.variables}, name="hypercube-lp"
+            )
+        exponents = optimal_share_exponents(query, bits, p)
+        shares = integer_shares(
+            query, exponents.exponents, p, strategy=strategy, bits=bits
+        )
+        return cls(query, shares, name="hypercube-lp")
+
+    @classmethod
+    def with_equal_shares(cls, query: ConjunctiveQuery, p: int) -> "HyperCubeAlgorithm":
+        """The skew-resilient ``p_i = p^{1/k}`` allocation."""
+        return cls(query, equal_integer_shares(query, p), name="hypercube-equal")
+
+    def routing_plan(
+        self, db: Database, p: int, hashes: HashFamily
+    ) -> HyperCubePlan:
+        grid = shares_product(self.shares)
+        if grid > p:
+            raise ShareError(
+                f"share product {grid} exceeds the {p} available servers"
+            )
+        return HyperCubePlan(self.query, self.shares, hashes)
+
+    def expected_max_load_bits(self, stats: SimpleStatistics) -> float:
+        """``max_j M_j / prod_{i in S_j} p_i`` — the skew-free expectation."""
+        bits = stats.bits_vector(self.query)
+        worst = 0.0
+        for atom in self.query.atoms:
+            denominator = math.prod(
+                self.shares[var] for var in atom.variable_set
+            )
+            worst = max(worst, bits[atom.name] / denominator)
+        return worst
+
+    def worst_case_load_bits(self, stats: SimpleStatistics) -> float:
+        """Corollary 3.2(ii): ``max_j M_j / min_{i in S_j} p_i`` on any data."""
+        bits = stats.bits_vector(self.query)
+        worst = 0.0
+        for atom in self.query.atoms:
+            denominator = min(
+                (self.shares[var] for var in atom.variable_set), default=1
+            )
+            worst = max(worst, bits[atom.name] / denominator)
+        return worst

@@ -1,0 +1,82 @@
+"""Replication-rate bounds for the MapReduce model (Section 5, Theorem 5.1).
+
+With reducers capped at ``L`` bits and input size ``|I| = sum_j M_j``, any
+algorithm computing ``q`` satisfies, for every fractional edge packing ``u``:
+
+    r >= c^u * K(u, M) / (L^{u-1} * sum_j M_j)
+      =  (c^u * L / sum_j M_j) * prod_j (M_j / L)^{u_j}
+
+For equal binary sizes and the triangle query this specializes to
+``r = Omega(sqrt(M/L))``, recovering Afrati et al. [1], and the reducer
+count must be at least ``(r |I|) / L = Omega((M/L)^{3/2})`` (Example 5.2).
+The bound is matched by HyperCube run as a map phase (`repro.mr`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+from ..query.atoms import ConjunctiveQuery
+from .bounds import log2_K
+from .packing import Packing, packing_value, packing_vertices
+
+
+def replication_rate_bound_for_packing(
+    packing: Packing,
+    bits: Mapping[str, float],
+    reducer_bits: float,
+    c: float = 1.0,
+) -> float:
+    """The Theorem 5.1 bound for one packing ``u`` (``c = 1`` reports the
+    shape without the model constant)."""
+    u = float(packing_value(packing))
+    if u <= 0:
+        return 0.0
+    total_bits = sum(bits.values())
+    log_value = (
+        u * math.log2(c)
+        + log2_K(packing, bits)
+        - (u - 1.0) * math.log2(reducer_bits)
+        - math.log2(total_bits)
+    )
+    return 2.0**log_value
+
+
+def replication_rate_lower_bound(
+    query: ConjunctiveQuery,
+    bits: Mapping[str, float],
+    reducer_bits: float,
+    c: float = 1.0,
+) -> tuple[float, Packing]:
+    """``max_u`` of the per-packing bound over ``pk(q)``.
+
+    Relations with ``M_j < L`` can be shipped whole to any reducer
+    (footnote 5), so packings are still legal; the maximization handles the
+    trade-off automatically.
+    """
+    best_value = 0.0
+    best_packing: Packing = {}
+    for packing in packing_vertices(query):
+        if packing_value(packing) == 0:
+            continue
+        value = replication_rate_bound_for_packing(
+            packing, bits, reducer_bits, c
+        )
+        if value > best_value:
+            best_value = value
+            best_packing = packing
+    return best_value, best_packing
+
+
+def minimum_reducers(
+    replication_rate: float, input_bits: float, reducer_bits: float
+) -> float:
+    """``p >= r |I| / L`` — any algorithm with rate ``r`` needs this many
+    reducers (Section 5)."""
+    return replication_rate * input_bits / reducer_bits
+
+
+def triangle_replication_shape(m_bits: float, reducer_bits: float) -> float:
+    """Example 5.2's closed form ``sqrt(M / L)`` for equal-size triangles."""
+    return math.sqrt(m_bits / reducer_bits)

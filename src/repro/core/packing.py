@@ -1,0 +1,225 @@
+"""Fractional edge packings and covers (Section 2.2, Theorem 3.6).
+
+A fractional edge packing of ``q`` assigns a weight ``u_j >= 0`` to each atom
+so that for every variable the incident weights sum to at most 1; a cover
+flips the inequality.  The paper's central objects:
+
+* ``pk(q)`` — the *non-dominated vertices* of the packing polytope; Theorem
+  3.6 proves the optimal load is ``max_{u in pk(q)} L(u, M, p)``.
+* ``tau*`` — the maximum total packing weight, equal (LP duality) to the
+  fractional vertex-covering number; for uniform cardinalities the load is
+  ``M / p^{1/tau*}`` as in [4].
+
+Vertex enumeration is exact (`repro.lp.polytope`).  Atoms whose variable set
+is empty (possible in residual queries) get an explicit ``u_j <= 1`` cap to
+keep the polytope bounded — see ``repro/query/residual.py`` for why this is
+the right convention.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import AbstractSet, Mapping, Sequence
+
+from ..lp.fraction_utils import Number, to_fraction
+from ..lp.polytope import (
+    HalfSpace,
+    enumerate_vertices,
+    non_dominated,
+    nonnegativity_constraints,
+)
+from ..lp.simplex import LPError, maximize, minimize
+from ..query.atoms import ConjunctiveQuery
+
+Packing = dict[str, Fraction]
+
+
+def _atom_names(query: ConjunctiveQuery) -> list[str]:
+    return [atom.name for atom in query.atoms]
+
+
+def packing_constraints(query: ConjunctiveQuery) -> list[HalfSpace]:
+    """The rows of (2): per-variable ``sum u_j <= 1`` plus caps for
+    variable-free atoms."""
+    names = _atom_names(query)
+    constraints: list[HalfSpace] = []
+    for var in query.variables:
+        row = [
+            Fraction(1) if var in atom.variable_set else Fraction(0)
+            for atom in query.atoms
+        ]
+        constraints.append(HalfSpace(tuple(row), Fraction(1)))
+    for idx, atom in enumerate(query.atoms):
+        if not atom.variable_set:
+            row = [Fraction(0)] * len(names)
+            row[idx] = Fraction(1)
+            constraints.append(HalfSpace(tuple(row), Fraction(1)))
+    return constraints
+
+
+def _as_packing(query: ConjunctiveQuery, values: Sequence[Fraction]) -> Packing:
+    return {atom.name: value for atom, value in zip(query.atoms, values)}
+
+
+def packing_vertices(query: ConjunctiveQuery) -> list[Packing]:
+    """All vertices of the packing polytope."""
+    constraints = packing_constraints(query) + nonnegativity_constraints(
+        query.num_atoms
+    )
+    vertices = enumerate_vertices(constraints, query.num_atoms)
+    return [_as_packing(query, v) for v in vertices]
+
+
+def non_dominated_packing_vertices(query: ConjunctiveQuery) -> list[Packing]:
+    """``pk(q)``: the non-dominated vertices (Theorem 3.6)."""
+    constraints = packing_constraints(query) + nonnegativity_constraints(
+        query.num_atoms
+    )
+    vertices = enumerate_vertices(constraints, query.num_atoms)
+    return [_as_packing(query, v) for v in non_dominated(vertices)]
+
+
+def is_edge_packing(query: ConjunctiveQuery, weights: Mapping[str, Number]) -> bool:
+    """Feasibility of ``weights`` for the packing constraints (2)."""
+    u = {name: to_fraction(weights.get(name, 0)) for name in _atom_names(query)}
+    if any(value < 0 for value in u.values()):
+        return False
+    for var in query.variables:
+        incident = sum(
+            u[atom.name] for atom in query.atoms if var in atom.variable_set
+        )
+        if incident > 1:
+            return False
+    return True
+
+
+def is_edge_cover(query: ConjunctiveQuery, weights: Mapping[str, Number]) -> bool:
+    """Feasibility for the cover constraints (>= 1 per variable)."""
+    u = {name: to_fraction(weights.get(name, 0)) for name in _atom_names(query)}
+    if any(value < 0 for value in u.values()):
+        return False
+    for var in query.variables:
+        incident = sum(
+            u[atom.name] for atom in query.atoms if var in atom.variable_set
+        )
+        if incident < 1:
+            return False
+    return True
+
+
+def is_tight(query: ConjunctiveQuery, weights: Mapping[str, Number]) -> bool:
+    """Tightness: every variable constraint holds with equality.
+
+    Every tight fractional edge packing is a tight fractional edge cover and
+    vice versa (Section 2.2).
+    """
+    u = {name: to_fraction(weights.get(name, 0)) for name in _atom_names(query)}
+    for var in query.variables:
+        incident = sum(
+            u[atom.name] for atom in query.atoms if var in atom.variable_set
+        )
+        if incident != 1:
+            return False
+    return True
+
+
+def packing_value(weights: Mapping[str, Number]) -> Fraction:
+    """``u = sum_j u_j``, the total weight of a packing."""
+    return sum((to_fraction(v) for v in weights.values()), start=Fraction(0))
+
+
+def maximum_packing_value(query: ConjunctiveQuery) -> Fraction:
+    """``tau*(q)``: the maximum fractional edge packing value."""
+    names = _atom_names(query)
+    constraints = packing_constraints(query)
+    a = [list(c.coefficients) for c in constraints]
+    b = [c.bound for c in constraints]
+    result = maximize([Fraction(1)] * len(names), a, b)
+    if not result.is_optimal:  # pragma: no cover - polytope is never empty
+        raise LPError(f"packing LP for {query.name} failed: {result.status}")
+    return result.objective
+
+
+def maximum_packing(query: ConjunctiveQuery) -> Packing:
+    """A packing attaining ``tau*(q)``."""
+    names = _atom_names(query)
+    constraints = packing_constraints(query)
+    a = [list(c.coefficients) for c in constraints]
+    b = [c.bound for c in constraints]
+    result = maximize([Fraction(1)] * len(names), a, b)
+    if not result.is_optimal:  # pragma: no cover
+        raise LPError(f"packing LP for {query.name} failed: {result.status}")
+    return {name: value for name, value in zip(names, result.x)}
+
+
+def fractional_vertex_cover_number(query: ConjunctiveQuery) -> Fraction:
+    """``tau*`` via its dual: minimize ``sum_i v_i`` with
+    ``sum_{i in S_j} v_i >= 1`` per atom.  Equals
+    :func:`maximum_packing_value` by LP duality — a good cross-check."""
+    k = query.num_variables
+    a: list[list[Fraction]] = []
+    b: list[Fraction] = []
+    for atom in query.atoms:
+        if not atom.variable_set:
+            continue
+        row = [
+            Fraction(-1) if var in atom.variable_set else Fraction(0)
+            for var in query.variables
+        ]
+        a.append(row)
+        b.append(Fraction(-1))
+    result = minimize([Fraction(1)] * k, a, b)
+    if not result.is_optimal:  # pragma: no cover
+        raise LPError(f"vertex cover LP for {query.name} failed: {result.status}")
+    return result.objective
+
+
+def fractional_edge_cover_number(query: ConjunctiveQuery) -> Fraction:
+    """``rho*(q)``: minimum total weight of a fractional edge cover.
+
+    This is the AGM/sequential-complexity side of the story the paper
+    contrasts against: covers capture run time, packings capture
+    communication.
+    """
+    names = _atom_names(query)
+    a: list[list[Fraction]] = []
+    b: list[Fraction] = []
+    for var in query.variables:
+        row = [
+            Fraction(-1) if var in atom.variable_set else Fraction(0)
+            for atom in query.atoms
+        ]
+        a.append(row)
+        b.append(Fraction(-1))
+    result = minimize([Fraction(1)] * len(names), a, b)
+    if not result.is_optimal:
+        raise LPError(f"edge cover LP for {query.name} failed: {result.status}")
+    return result.objective
+
+
+def minimum_edge_cover(
+    query: ConjunctiveQuery, costs: Mapping[str, Number] | None = None
+) -> Packing:
+    """A fractional edge cover minimizing ``sum_j cost_j * u_j``.
+
+    With ``costs = log m_j`` this yields the cover whose AGM bound
+    ``prod m_j^{u_j}`` is smallest (used by `repro.core.friedgut`).
+    """
+    names = _atom_names(query)
+    if costs is None:
+        cost_vec = [Fraction(1)] * len(names)
+    else:
+        cost_vec = [to_fraction(costs[name]) for name in names]
+    a: list[list[Fraction]] = []
+    b: list[Fraction] = []
+    for var in query.variables:
+        row = [
+            Fraction(-1) if var in atom.variable_set else Fraction(0)
+            for atom in query.atoms
+        ]
+        a.append(row)
+        b.append(Fraction(-1))
+    result = minimize(cost_vec, a, b)
+    if not result.is_optimal:
+        raise LPError(f"weighted cover LP for {query.name} failed: {result.status}")
+    return {name: value for name, value in zip(names, result.x)}

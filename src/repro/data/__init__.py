@@ -1,0 +1,23 @@
+"""Deterministic workload generators."""
+
+from .generators import (
+    GeneratorError,
+    degree_relation,
+    graph_edges,
+    matching_relation,
+    planted_heavy_relation,
+    single_value_relation,
+    uniform_relation,
+    zipf_relation,
+)
+
+__all__ = [
+    "GeneratorError",
+    "degree_relation",
+    "graph_edges",
+    "matching_relation",
+    "planted_heavy_relation",
+    "single_value_relation",
+    "uniform_relation",
+    "zipf_relation",
+]

@@ -1,0 +1,75 @@
+"""Exact linear algebra over ``fractions.Fraction``.
+
+Only what the polytope vertex enumerator needs: solving square systems and
+computing ranks, with exact pivoting (no numerical tolerance games).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Sequence
+
+Matrix = list[list[Fraction]]
+Vector = list[Fraction]
+
+
+def _copy_matrix(rows: Sequence[Sequence[Fraction]]) -> Matrix:
+    return [list(row) for row in rows]
+
+
+def solve_square_system(
+    a: Sequence[Sequence[Fraction]], b: Sequence[Fraction]
+) -> Vector | None:
+    """Solve ``A x = b`` for square ``A``; ``None`` if ``A`` is singular."""
+    n = len(a)
+    if any(len(row) != n for row in a) or len(b) != n:
+        raise ValueError("solve_square_system needs a square system")
+    aug: Matrix = [list(row) + [b[i]] for i, row in enumerate(a)]
+
+    for col in range(n):
+        pivot_row = next((r for r in range(col, n) if aug[r][col] != 0), None)
+        if pivot_row is None:
+            return None
+        aug[col], aug[pivot_row] = aug[pivot_row], aug[col]
+        pivot = aug[col][col]
+        aug[col] = [entry / pivot for entry in aug[col]]
+        for r in range(n):
+            if r != col and aug[r][col] != 0:
+                factor = aug[r][col]
+                aug[r] = [entry - factor * p for entry, p in zip(aug[r], aug[col])]
+    return [aug[i][n] for i in range(n)]
+
+
+def matrix_rank(a: Sequence[Sequence[Fraction]]) -> int:
+    """Rank of a (possibly rectangular) exact matrix."""
+    rows = _copy_matrix(a)
+    if not rows:
+        return 0
+    n_cols = len(rows[0])
+    rank = 0
+    pivot_col = 0
+    for _ in range(len(rows)):
+        while pivot_col < n_cols:
+            pivot_row = next(
+                (r for r in range(rank, len(rows)) if rows[r][pivot_col] != 0),
+                None,
+            )
+            if pivot_row is None:
+                pivot_col += 1
+                continue
+            rows[rank], rows[pivot_row] = rows[pivot_row], rows[rank]
+            pivot = rows[rank][pivot_col]
+            rows[rank] = [entry / pivot for entry in rows[rank]]
+            for r in range(len(rows)):
+                if r != rank and rows[r][pivot_col] != 0:
+                    factor = rows[r][pivot_col]
+                    rows[r] = [
+                        entry - factor * p
+                        for entry, p in zip(rows[r], rows[rank])
+                    ]
+            rank += 1
+            pivot_col += 1
+            break
+        else:
+            break
+    return rank

@@ -1,0 +1,23 @@
+"""MPC simulator: hash families, cluster, one-round execution."""
+
+from .allocation import ServerAllocator
+from .cluster import Cluster, LoadReport, Server
+from .execution import (
+    ExecutionResult,
+    OneRoundAlgorithm,
+    RoutingPlan,
+    run_one_round,
+)
+from .hashing import HashFamily
+
+__all__ = [
+    "ServerAllocator",
+    "Cluster",
+    "LoadReport",
+    "Server",
+    "ExecutionResult",
+    "OneRoundAlgorithm",
+    "RoutingPlan",
+    "run_one_round",
+    "HashFamily",
+]

@@ -1,0 +1,46 @@
+"""Server-range allocation for multi-part one-round plans.
+
+The skew-aware algorithms (Sections 4.1–4.2) split the work into logical
+steps — the light hash join, one cartesian grid per doubly-heavy hitter, one
+partition-and-broadcast block per singly-heavy hitter — each of which gets a
+block of ``p_h`` servers.  The paper notes the total may exceed ``p`` but
+stays ``Theta(p)``; all steps then share the same physical ``p`` servers, at
+the price of a constant-factor load increase.
+
+:class:`ServerAllocator` hands out consecutive ranges modulo ``p`` so that
+blocks of one step tile ``[0, p)`` as evenly as possible; each physical
+server is hit by ``O(1)`` blocks per step.
+"""
+
+from __future__ import annotations
+
+
+class ServerAllocator:
+    """Allocates wrap-around ranges of servers from a pool of size ``p``."""
+
+    def __init__(self, p: int) -> None:
+        if p < 1:
+            raise ValueError("p must be >= 1")
+        self.p = p
+        self._cursor = 0
+        self._allocated = 0
+
+    def allocate(self, count: int) -> tuple[int, ...]:
+        """The next ``count`` server indices (wrapping modulo ``p``)."""
+        if count < 1:
+            raise ValueError("cannot allocate an empty block")
+        count = min(count, self.p)
+        block = tuple((self._cursor + i) % self.p for i in range(count))
+        self._cursor = (self._cursor + count) % self.p
+        self._allocated += count
+        return block
+
+    @property
+    def total_allocated(self) -> int:
+        """Total servers handed out — the paper's Theta(p) check."""
+        return self._allocated
+
+    @property
+    def overcommit(self) -> float:
+        """Allocated servers over pool size; Theta(1) for the paper's plans."""
+        return self._allocated / self.p

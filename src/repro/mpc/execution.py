@@ -1,0 +1,150 @@
+"""One-round execution of MPC algorithms.
+
+An algorithm supplies a :class:`RoutingPlan` — a pure function from input
+tuple to destination servers, computable from the database *statistics* alone
+(never from other tuples; that is the essence of the one-round restriction
+and of treating tuples independently, Section 2.1).  The executor:
+
+1. routes every input tuple to its destinations, charging each server's load;
+2. lets every server join its received fragments locally (servers have
+   unlimited compute);
+3. unions the local answers and reports loads.
+
+Every locally produced tuple is a genuine answer (fragments are subsets of
+the true relations), so correctness of an algorithm means *completeness*:
+the union must equal the sequential join.  ``run_one_round(..., verify=True)``
+checks exactly that.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from ..query.atoms import ConjunctiveQuery
+from ..seq.join import evaluate, local_join
+from ..seq.relation import Database, Tuple
+from .cluster import Cluster, LoadReport
+from .hashing import HashFamily
+
+
+class RoutingPlan(ABC):
+    """Maps each input tuple to the servers that must receive it."""
+
+    @abstractmethod
+    def destinations(self, relation_name: str, tup: Tuple) -> Iterable[int]:
+        """Server indices in ``[0, p)`` that receive ``tup``."""
+
+    def describe(self) -> Mapping[str, object]:
+        """Plan metadata surfaced in the execution result (e.g. shares)."""
+        return {}
+
+
+class OneRoundAlgorithm(ABC):
+    """A one-round MPC algorithm for a fixed query."""
+
+    def __init__(self, query: ConjunctiveQuery, name: str) -> None:
+        self.query = query
+        self.name = name
+
+    @abstractmethod
+    def routing_plan(
+        self, db: Database, p: int, hashes: HashFamily
+    ) -> RoutingPlan:
+        """Build the routing plan for ``p`` servers.
+
+        Implementations may consult database *statistics* (cardinalities,
+        heavy hitters) but must route each tuple independently of the others.
+        """
+
+
+@dataclass(frozen=True)
+class ExecutionResult:
+    """Everything measured in one simulated round."""
+
+    algorithm: str
+    query: ConjunctiveQuery
+    p: int
+    seed: int
+    report: LoadReport
+    answers: frozenset[Tuple] | None
+    expected_answers: frozenset[Tuple] | None
+    details: Mapping[str, object] = field(default_factory=dict)
+
+    @property
+    def answer_count(self) -> int | None:
+        return None if self.answers is None else len(self.answers)
+
+    @property
+    def is_complete(self) -> bool | None:
+        """True iff the algorithm found every answer (needs ``verify=True``)."""
+        if self.answers is None or self.expected_answers is None:
+            return None
+        return self.answers == self.expected_answers
+
+    @property
+    def max_load_bits(self) -> float:
+        return self.report.max_load_bits
+
+    @property
+    def max_load_tuples(self) -> int:
+        return self.report.max_load_tuples
+
+
+def run_one_round(
+    algorithm: OneRoundAlgorithm,
+    db: Database,
+    p: int,
+    seed: int = 0,
+    compute_answers: bool = True,
+    verify: bool = False,
+) -> ExecutionResult:
+    """Simulate one communication round of ``algorithm`` on ``db``.
+
+    Parameters
+    ----------
+    compute_answers:
+        When False, skip the local joins and only measure communication —
+        useful for load-focused experiments whose output would be huge.
+    verify:
+        When True, also run the sequential join and record it for
+        :attr:`ExecutionResult.is_complete`.
+    """
+    query = algorithm.query
+    db.validate_against(query)
+    cluster = Cluster(p)
+    hashes = HashFamily(seed)
+    plan = algorithm.routing_plan(db, p, hashes)
+
+    input_tuples = 0
+    input_bits = 0.0
+    for atom in query.atoms:
+        relation = db.relation(atom.name)
+        tuple_bits = relation.tuple_bits
+        input_tuples += relation.cardinality
+        input_bits += relation.bits
+        for tup in relation.tuples:
+            cluster.send_many(
+                plan.destinations(atom.name, tup), atom.name, tup, tuple_bits
+            )
+
+    answers: frozenset[Tuple] | None = None
+    if compute_answers:
+        collected: set[Tuple] = set()
+        for server in cluster.servers:
+            if server.fragments:
+                collected |= local_join(query, server.fragments, db.domain_size)
+        answers = frozenset(collected)
+
+    expected = evaluate(query, db) if verify else None
+    return ExecutionResult(
+        algorithm=algorithm.name,
+        query=query,
+        p=p,
+        seed=seed,
+        report=cluster.load_report(input_tuples, input_bits),
+        answers=answers,
+        expected_answers=expected,
+        details=dict(plan.describe()),
+    )

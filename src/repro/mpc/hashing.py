@@ -1,0 +1,58 @@
+"""Seeded hash families for the MPC simulator.
+
+The paper assumes perfectly random, independent hash functions ``h_i`` — one
+per query variable (Section 3.1).  We model them with keyed BLAKE2b digests:
+deterministic given ``(seed, salt, value)``, independent-looking across
+salts, and uniform enough at our scales for the concentration bounds of
+Lemma 3.1 to be observable (experiment E10 checks this empirically).
+
+Hash values are cached per ``(salt, value)`` because skewed inputs hash the
+same heavy value millions of times.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+
+class HashFamily:
+    """A family of independent hash functions indexed by string salts."""
+
+    def __init__(self, seed: int) -> None:
+        self._seed = seed
+        self._key = seed.to_bytes(8, "little", signed=True)
+        self._cache: dict[tuple[str, int], int] = {}
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    def raw(self, salt: str, value: int) -> int:
+        """A 64-bit hash of ``value`` under the function named ``salt``."""
+        cached = self._cache.get((salt, value))
+        if cached is not None:
+            return cached
+        payload = salt.encode() + b"\x00" + value.to_bytes(16, "little", signed=True)
+        digest = hashlib.blake2b(payload, key=self._key, digest_size=8).digest()
+        result = int.from_bytes(digest, "little")
+        self._cache[(salt, value)] = result
+        return result
+
+    def bucket(self, salt: str, value: int, buckets: int) -> int:
+        """Hash ``value`` into ``[0, buckets)`` under the function ``salt``."""
+        if buckets < 1:
+            raise ValueError("bucket count must be >= 1")
+        if buckets == 1:
+            return 0
+        return self.raw(salt, value) % buckets
+
+    def subfamily(self, label: str) -> "HashFamily":
+        """An independent family derived from this one (for nested plans)."""
+        derived_seed = int.from_bytes(
+            hashlib.blake2b(
+                label.encode(), key=self._key, digest_size=8
+            ).digest(),
+            "little",
+            signed=True,
+        )
+        return HashFamily(derived_seed)

@@ -1,0 +1,17 @@
+"""The Section 5 MapReduce model and HC-as-MapReduce."""
+
+from .algorithms import (
+    HyperCubeMapReduceRun,
+    choose_reducers,
+    hypercube_mapreduce,
+)
+from .model import Mapper, MapReduceResult, run_mapreduce
+
+__all__ = [
+    "HyperCubeMapReduceRun",
+    "choose_reducers",
+    "hypercube_mapreduce",
+    "Mapper",
+    "MapReduceResult",
+    "run_mapreduce",
+]

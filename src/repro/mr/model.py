@@ -1,0 +1,103 @@
+"""The MapReduce cost model of Section 5 (after Afrati et al. [1]).
+
+The primary parameter is the *reducer size* ``L`` — the bits a reducer may
+receive.  An algorithm deterministically maps each input tuple to a set of
+reducers; reducer ``i`` receiving ``L_i`` bits yields replication rate
+
+    r = sum_i L_i / |I|.
+
+The paper strengthens the model (input servers may examine whole relations,
+algorithms may use statistics and randomness) and derives the bound of
+Theorem 5.1 (`repro.core.mr_bounds`).  This module simulates the model so
+HC-as-MapReduce can be measured against that bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping
+
+from ..query.atoms import ConjunctiveQuery
+from ..seq.join import evaluate, local_join
+from ..seq.relation import Database, Tuple
+
+Mapper = Callable[[str, Tuple], Iterable[int]]
+
+
+@dataclass(frozen=True)
+class MapReduceResult:
+    """Measurements of one simulated map phase (plus reduce verification)."""
+
+    num_reducers: int
+    reducer_bits: tuple[float, ...]
+    input_bits: float
+    answers: frozenset[Tuple] | None
+    expected_answers: frozenset[Tuple] | None
+
+    @property
+    def replication_rate(self) -> float:
+        if self.input_bits == 0:
+            return 0.0
+        return sum(self.reducer_bits) / self.input_bits
+
+    @property
+    def max_reducer_bits(self) -> float:
+        return max(self.reducer_bits, default=0.0)
+
+    @property
+    def is_complete(self) -> bool | None:
+        if self.answers is None or self.expected_answers is None:
+            return None
+        return self.answers == self.expected_answers
+
+    def within_cap(self, cap_bits: float) -> bool:
+        """Did every reducer respect the reducer-size cap ``L``?"""
+        return self.max_reducer_bits <= cap_bits
+
+
+def run_mapreduce(
+    query: ConjunctiveQuery,
+    db: Database,
+    mapper: Mapper,
+    num_reducers: int,
+    compute_answers: bool = True,
+    verify: bool = False,
+) -> MapReduceResult:
+    """Run one map phase and (optionally) the reduce-side joins."""
+    db.validate_against(query)
+    if num_reducers < 1:
+        raise ValueError("need at least one reducer")
+    bits = [0.0] * num_reducers
+    fragments: list[dict[str, set[Tuple]]] = [dict() for _ in range(num_reducers)]
+    input_bits = 0.0
+    for atom in query.atoms:
+        relation = db.relation(atom.name)
+        tuple_bits = relation.tuple_bits
+        input_bits += relation.bits
+        for tup in relation.tuples:
+            for reducer in mapper(atom.name, tup):
+                if not 0 <= reducer < num_reducers:
+                    raise ValueError(
+                        f"mapper sent a tuple to reducer {reducer} outside "
+                        f"[0, {num_reducers})"
+                    )
+                fragment = fragments[reducer].setdefault(atom.name, set())
+                if tup not in fragment:
+                    fragment.add(tup)
+                    bits[reducer] += tuple_bits
+
+    answers: frozenset[Tuple] | None = None
+    if compute_answers:
+        collected: set[Tuple] = set()
+        for fragment in fragments:
+            if fragment:
+                collected |= local_join(query, fragment, db.domain_size)
+        answers = frozenset(collected)
+    expected = evaluate(query, db) if verify else None
+    return MapReduceResult(
+        num_reducers=num_reducers,
+        reducer_bits=tuple(bits),
+        input_bits=input_bits,
+        answers=answers,
+        expected_answers=expected,
+    )

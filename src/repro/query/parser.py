@@ -1,0 +1,82 @@
+"""Textual syntax for conjunctive queries.
+
+The concrete syntax mirrors datalog::
+
+    q(x, y, z) :- S1(x, z), S2(y, z)
+
+The head is optional.  When omitted, the query is written as a bare body and
+the head defaults to the variables in order of first appearance::
+
+    S1(x, z), S2(y, z)
+
+Identifiers (relation names and variables) match ``[A-Za-z_][A-Za-z0-9_']*``
+so primed variables like ``x'`` are accepted.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .atoms import Atom, ConjunctiveQuery, QueryError
+
+_IDENT = r"[A-Za-z_][A-Za-z0-9_']*"
+_ATOM_RE = re.compile(rf"\s*({_IDENT})\s*\(([^()]*)\)\s*")
+_HEAD_RE = re.compile(rf"^\s*({_IDENT})\s*\(([^()]*)\)\s*$")
+
+
+def _parse_variable_list(raw: str, context: str) -> tuple[str, ...]:
+    parts = [part.strip() for part in raw.split(",")] if raw.strip() else []
+    for part in parts:
+        if not re.fullmatch(_IDENT, part):
+            raise QueryError(f"bad variable {part!r} in {context}")
+    return tuple(parts)
+
+
+def parse_atom(text: str) -> Atom:
+    """Parse a single atom such as ``S1(x, y)``."""
+    match = _HEAD_RE.match(text)
+    if match is None:
+        raise QueryError(f"cannot parse atom from {text!r}")
+    name, raw_vars = match.groups()
+    return Atom(name, _parse_variable_list(raw_vars, f"atom {name}"))
+
+
+def _parse_body(text: str) -> tuple[Atom, ...]:
+    atoms: list[Atom] = []
+    pos = 0
+    while pos < len(text):
+        match = _ATOM_RE.match(text, pos)
+        if match is None:
+            raise QueryError(f"cannot parse query body near {text[pos:pos + 30]!r}")
+        name, raw_vars = match.groups()
+        atoms.append(Atom(name, _parse_variable_list(raw_vars, f"atom {name}")))
+        pos = match.end()
+        if pos < len(text):
+            if text[pos] != ",":
+                raise QueryError(
+                    f"expected ',' between atoms near {text[pos:pos + 30]!r}"
+                )
+            pos += 1
+    if not atoms:
+        raise QueryError("empty query body")
+    return tuple(atoms)
+
+
+def parse_query(text: str) -> ConjunctiveQuery:
+    """Parse a full conjunctive query from datalog-like syntax.
+
+    >>> q = parse_query("q(x, y, z) :- S1(x, z), S2(y, z)")
+    >>> q.num_atoms, q.variables
+    (2, ('x', 'y', 'z'))
+    >>> parse_query("S1(x, z), S2(y, z)").head
+    ('x', 'z', 'y')
+    """
+    if ":-" in text:
+        head_text, body_text = text.split(":-", 1)
+        match = _HEAD_RE.match(head_text)
+        if match is None:
+            raise QueryError(f"cannot parse query head from {head_text!r}")
+        name, raw_vars = match.groups()
+        head = _parse_variable_list(raw_vars, f"head {name}")
+        return ConjunctiveQuery(_parse_body(body_text.strip()), head=head, name=name)
+    return ConjunctiveQuery(_parse_body(text.strip()))

@@ -1,0 +1,22 @@
+"""Relations, databases, and the sequential join oracle."""
+
+from .join import (
+    count_answers,
+    evaluate,
+    expected_answer_count,
+    iterate_answers,
+    local_join,
+)
+from .relation import Database, Relation, RelationError, bits_per_value
+
+__all__ = [
+    "Database",
+    "Relation",
+    "RelationError",
+    "bits_per_value",
+    "count_answers",
+    "evaluate",
+    "expected_answer_count",
+    "iterate_answers",
+    "local_join",
+]

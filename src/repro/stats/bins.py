@@ -1,0 +1,165 @@
+"""Frequency bins and bin combinations (Section 4.2).
+
+For each relation ``S_j`` and variable subset ``x_j`` the algorithm defines
+``log2 p`` heavy bins plus one light bin.  Bin ``b`` (for ``b = 1..log2 p``)
+holds the heavy hitters with ``m_j / 2^(b-1) >= m_j(h_j) > m_j / 2^b``; the
+light bin ``b = log2 p + 1`` holds everything else.  A bin is identified by
+its *bin exponent* ``beta_b = log_p(2^(b-1))``, so ``beta_1 = 0`` and the
+light bin has ``beta = 1``.
+
+A :class:`BinCombination` ``B = (x, (beta_j)_j)`` fixes, for every relation
+with ``x_j = x  intersect  vars(S_j)`` nonempty, the bin its induced
+assignment falls in.  The general skew-aware algorithm solves one share LP
+per bin combination and runs a HyperCube instance per combination
+(`repro.core.skew_general`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import AbstractSet, Iterable, Mapping
+
+from ..lp.fraction_utils import log_base_fraction
+from ..query.atoms import ConjunctiveQuery
+from .heavy_hitters import (
+    Assignment,
+    HeavyHitterStatistics,
+    VarSubset,
+    canonical_subset,
+)
+
+
+def num_heavy_bins(p: int) -> int:
+    """``log2 p`` rounded up — the number of heavy bins."""
+    if p < 1:
+        raise ValueError("p must be >= 1")
+    return max(1, math.ceil(math.log2(p))) if p > 1 else 1
+
+
+def light_bin_index(p: int) -> int:
+    """Index of the light bin (``log2 p + 1`` in the paper)."""
+    return num_heavy_bins(p) + 1
+
+
+def bin_index(total: int, frequency: int, p: int) -> int:
+    """The bin ``b`` holding a value of ``frequency`` in a relation of
+    ``total`` tuples: smallest ``b`` with ``frequency > total / 2^b``,
+    clamped to the light bin."""
+    if frequency <= 0:
+        raise ValueError("frequency must be positive")
+    if frequency > total:
+        raise ValueError(f"frequency {frequency} exceeds cardinality {total}")
+    light = light_bin_index(p)
+    for b in range(1, light):
+        if frequency > total / 2**b:
+            return b
+    return light
+
+
+def bin_exponent(b: int, p: int) -> Fraction:
+    """``beta_b = log_p(2^(b-1))``; exactly 1 for the light bin."""
+    if b < 1:
+        raise ValueError("bin index must be >= 1")
+    if b >= light_bin_index(p):
+        return Fraction(1)
+    if b == 1:
+        return Fraction(0)
+    return log_base_fraction(float(2 ** (b - 1)), float(p))
+
+
+def assignment_bin_exponent(
+    stats: HeavyHitterStatistics,
+    atom_name: str,
+    variables: Iterable[str],
+    assignment: Assignment,
+) -> Fraction:
+    """The bin exponent of ``assignment`` on ``(atom, variables)``.
+
+    Light assignments (not recorded in the heavy-hitter statistics) get the
+    light-bin exponent 1, matching the paper's convention.
+    """
+    freq = stats.frequency(atom_name, variables, assignment)
+    if freq is None:
+        return Fraction(1)
+    total = stats.simple.cardinality(atom_name)
+    return bin_exponent(bin_index(total, freq, stats.p), stats.p)
+
+
+@dataclass(frozen=True)
+class BinCombination:
+    """``B = (x, (beta_j)_j)``: a variable set plus per-atom bin exponents.
+
+    ``exponents`` carries entries only for atoms with ``x_j != emptyset``;
+    :meth:`beta` returns 0 for the others (condition (1) of Definition 4.1).
+    """
+
+    variables: frozenset[str]
+    exponents: tuple[tuple[str, Fraction], ...]  # sorted by atom name
+
+    @classmethod
+    def build(
+        cls,
+        variables: AbstractSet[str],
+        exponents: Mapping[str, Fraction],
+    ) -> "BinCombination":
+        return cls(
+            variables=frozenset(variables),
+            exponents=tuple(sorted(exponents.items())),
+        )
+
+    @classmethod
+    def empty(cls) -> "BinCombination":
+        """``B_emptyset`` — the bin combination of the all-light plan."""
+        return cls(variables=frozenset(), exponents=())
+
+    @property
+    def exponent_map(self) -> dict[str, Fraction]:
+        return dict(self.exponents)
+
+    def beta(self, atom_name: str) -> Fraction:
+        return self.exponent_map.get(atom_name, Fraction(0))
+
+    def atom_subset(self, query: ConjunctiveQuery, atom_name: str) -> VarSubset:
+        """``x_j = x intersect vars(S_j)`` in canonical order."""
+        atom = query.atom(atom_name)
+        return canonical_subset(atom.variable_set & self.variables)
+
+    def dominates(self, other: "BinCombination") -> bool:
+        """The partial order ``other < self`` of Appendix D: strict variable
+        containment and componentwise ``beta`` dominance."""
+        if not (other.variables < self.variables):
+            return False
+        mine = self.exponent_map
+        theirs = other.exponent_map
+        names = set(mine) | set(theirs)
+        return all(
+            theirs.get(name, Fraction(0)) <= mine.get(name, Fraction(0))
+            for name in names
+        )
+
+    def describe(self) -> str:
+        exps = ", ".join(f"{name}:{float(beta):.3f}" for name, beta in self.exponents)
+        return f"B(x={{{', '.join(sorted(self.variables))}}}; {exps})"
+
+
+def combination_for_assignment(
+    query: ConjunctiveQuery,
+    stats: HeavyHitterStatistics,
+    assignment: Mapping[str, int],
+) -> BinCombination:
+    """The bin combination *associated with* an assignment ``h`` to some
+    variable set ``x`` (as used in Lemma 4.5): for each atom with
+    ``x_j != emptyset``, the bin exponent of the induced assignment."""
+    variables = frozenset(assignment)
+    exponents: dict[str, Fraction] = {}
+    for atom in query.atoms:
+        subset = canonical_subset(atom.variable_set & variables)
+        if not subset:
+            continue
+        values = tuple(assignment[var] for var in subset)
+        exponents[atom.name] = assignment_bin_exponent(
+            stats, atom.name, subset, values
+        )
+    return BinCombination.build(variables, exponents)

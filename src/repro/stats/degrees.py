@@ -1,0 +1,95 @@
+"""Degree statistics of type ``x`` (Section 4.3).
+
+A *statistics of type* ``x_j`` for relation ``S_j`` is the full frequency
+function ``m_j : [n]^{d_j} -> N`` on the positions of ``x_j``; for a binary
+relation and ``x = {z}`` this is exactly a degree sequence.  The residual
+lower bound ``L_x(u, M, p)`` of Theorem 4.7 is a sum over assignments ``h``
+weighted by ``K(u, M(h)) = prod_j M_j(h_j)^{u_j}``.
+
+Unlike :class:`~repro.stats.heavy_hitters.HeavyHitterStatistics`, these maps
+are complete (they include light values); they define a *class* of databases
+and appear only in lower-bound computations, never inside algorithms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import AbstractSet, Mapping
+
+from ..query.atoms import ConjunctiveQuery
+from ..seq.relation import Database, bits_per_value
+from .cardinality import StatisticsError
+from .heavy_hitters import Assignment, VarSubset, canonical_subset
+
+
+@dataclass(frozen=True)
+class DegreeStatistics:
+    """Full frequency maps for one variable set ``x``.
+
+    Attributes
+    ----------
+    query:
+        The query the statistics refer to.
+    variables:
+        The set ``x``.
+    frequency_maps:
+        ``atom name -> {h_j: m_j(h_j)}`` over the canonical ordering of
+        ``x_j = x intersect vars(S_j)``.  Atoms with ``x_j = emptyset`` map
+        the empty assignment ``()`` to their cardinality (as in the paper,
+        where an ``emptyset``-statistics is a single number).
+    domain_size:
+        The common attribute domain size ``n``.
+    """
+
+    query: ConjunctiveQuery
+    variables: frozenset[str]
+    frequency_maps: Mapping[str, Mapping[Assignment, int]]
+    domain_size: int
+
+    @classmethod
+    def of(
+        cls, query: ConjunctiveQuery, db: Database, variables: AbstractSet[str]
+    ) -> "DegreeStatistics":
+        db.validate_against(query)
+        var_set = frozenset(variables)
+        unknown = var_set - set(query.variables)
+        if unknown:
+            raise StatisticsError(
+                f"variables {sorted(unknown)} do not appear in {query.name}"
+            )
+        maps: dict[str, dict[Assignment, int]] = {}
+        for atom in query.atoms:
+            relation = db.relation(atom.name)
+            subset = canonical_subset(atom.variable_set & var_set)
+            if not subset:
+                maps[atom.name] = {(): relation.cardinality}
+                continue
+            positions = [atom.positions_of(var)[0] for var in subset]
+            maps[atom.name] = dict(relation.frequencies(positions))
+        return cls(
+            query=query,
+            variables=var_set,
+            frequency_maps=maps,
+            domain_size=db.domain_size,
+        )
+
+    def subset_of(self, atom_name: str) -> VarSubset:
+        atom = self.query.atom(atom_name)
+        return canonical_subset(atom.variable_set & self.variables)
+
+    def frequency(self, atom_name: str, assignment: Assignment) -> int:
+        """``m_j(h_j)``; zero for assignments absent from the relation."""
+        return self.frequency_maps[atom_name].get(tuple(assignment), 0)
+
+    def bits(self, atom_name: str, assignment: Assignment) -> float:
+        """``M_j(h_j) = a_j * m_j(h_j) * log2 n`` (Section 4.3)."""
+        atom = self.query.atom(atom_name)
+        return (
+            atom.arity
+            * self.frequency(atom_name, assignment)
+            * bits_per_value(self.domain_size)
+        )
+
+    def cardinality(self, atom_name: str) -> int:
+        """``|S_j| = sum_h m_j(h_j)`` — the statistics determine it."""
+        return sum(self.frequency_maps[atom_name].values())

@@ -1,0 +1,175 @@
+"""Unit tests for the load bounds L(u, M, p) and Theorem 3.6 equivalence."""
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.core import (
+    BoundError,
+    K,
+    broadcast_reduction,
+    load,
+    log2_K,
+    lower_bound,
+    maximum_packing_value,
+    optimal_share_exponents,
+    space_exponent,
+    uniform_lower_bound,
+    vertex_loads,
+)
+from repro.query import (
+    chain_query,
+    simple_join_query,
+    star_query,
+    triangle_query,
+)
+
+
+class TestK:
+    def test_k_is_product_of_powers(self):
+        bits = {"S1": 8.0, "S2": 16.0}
+        u = {"S1": 1, "S2": Fraction(1, 2)}
+        assert math.isclose(K(u, bits), 8.0 * 4.0)
+
+    def test_zero_weight_ignores_empty_relation(self):
+        """0^0 = 1 convention: u_j = 0 makes M_j irrelevant."""
+        bits = {"S1": 0.0, "S2": 16.0}
+        u = {"S1": 0, "S2": 1}
+        assert math.isclose(K(u, bits), 16.0)
+
+    def test_positive_weight_on_empty_relation_kills_k(self):
+        bits = {"S1": 0.0, "S2": 16.0}
+        u = {"S1": 1, "S2": 1}
+        assert log2_K(u, bits) == -math.inf
+
+
+class TestLoad:
+    def test_equal_cardinality_closed_form(self):
+        """L = M / p^(1/u) when all sizes equal (Section 3.2)."""
+        bits = {"S1": 1024.0, "S2": 1024.0, "S3": 1024.0}
+        u = {"S1": Fraction(1, 2), "S2": Fraction(1, 2), "S3": Fraction(1, 2)}
+        p = 64
+        expected = 1024.0 / p ** (1 / 1.5)
+        assert math.isclose(load(u, bits, p), expected)
+
+    def test_singleton_packing_gives_mj_over_p(self):
+        bits = {"S1": 1000.0, "S2": 500.0}
+        assert math.isclose(load({"S1": 1, "S2": 0}, bits, 10), 100.0)
+
+    def test_zero_packing_rejected(self):
+        with pytest.raises(BoundError):
+            load({"S1": 0}, {"S1": 10.0}, 4)
+
+
+class TestLowerBound:
+    def test_triangle_example_3_7_table(self):
+        """The four vertex expressions of Example 3.7."""
+        q = triangle_query()
+        m1, m2, m3 = 2.0**20, 2.0**18, 2.0**12
+        bits = {"S1": m1, "S2": m2, "S3": m3}
+        p = 64
+        rows = {
+            tuple(sorted((k, float(v)) for k, v in u.items())): value
+            for u, value in vertex_loads(q, bits, p)
+        }
+        expected = {
+            (("S1", 0.5), ("S2", 0.5), ("S3", 0.5)): (m1 * m2 * m3) ** (1 / 3)
+            / p ** (2 / 3),
+            (("S1", 1.0), ("S2", 0.0), ("S3", 0.0)): m1 / p,
+            (("S1", 0.0), ("S2", 1.0), ("S3", 0.0)): m2 / p,
+            (("S1", 0.0), ("S2", 0.0), ("S3", 1.0)): m3 / p,
+        }
+        assert set(rows) == set(expected)
+        for key, value in expected.items():
+            assert math.isclose(rows[key], value, rel_tol=1e-9)
+        assert math.isclose(
+            lower_bound(q, bits, p).bits, max(expected.values()), rel_tol=1e-9
+        )
+
+    def test_theorem_3_6_lower_equals_upper(self):
+        """L_lower (max over pk(q)) == L_upper (share LP optimum)."""
+        cases = [
+            (triangle_query(), {"S1": 2.0**20, "S2": 2.0**17, "S3": 2.0**14}),
+            (simple_join_query(), {"S1": 2.0**16, "S2": 2.0**12}),
+            (chain_query(3), {"S1": 2.0**15, "S2": 2.0**13, "S3": 2.0**15}),
+            (star_query(3), {"S1": 2.0**14, "S2": 2.0**14, "S3": 2.0**10}),
+        ]
+        for q, bits in cases:
+            for p in (4, 16, 64, 256):
+                lower = lower_bound(q, bits, p).bits
+                upper = optimal_share_exponents(q, bits, p).load_bits
+                assert math.isclose(lower, upper, rel_tol=1e-6), (q.name, p)
+
+    def test_uniform_case_recovers_tau_star(self):
+        """Equal sizes: L = M / p^(1/tau*) (the [4] special case)."""
+        q = triangle_query()
+        m = 2.0**20
+        bits = {"S1": m, "S2": m, "S3": m}
+        p = 64
+        tau = float(maximum_packing_value(q))
+        assert math.isclose(
+            lower_bound(q, bits, p).bits, m / p ** (1 / tau), rel_tol=1e-9
+        )
+        assert math.isclose(
+            uniform_lower_bound(q, m, p), m / p ** (1 / tau), rel_tol=1e-12
+        )
+
+    def test_broadcast_regime_dominated_vertex_wins(self):
+        """With M_0 < M/p, the dominated vertex (0, 1) carries the maximum;
+        lower_bound must still equal the LP optimum (see its docstring)."""
+        from repro.query import cartesian_product_query
+
+        q = cartesian_product_query(2)
+        bits = {"S1": 64.0, "S2": 512.0}
+        p = 4
+        bound = lower_bound(q, bits, p)
+        assert math.isclose(bound.bits, 512.0 / 4)
+        assert bound.packing["S1"] == 0 and bound.packing["S2"] == 1
+        upper = optimal_share_exponents(q, bits, p).load_bits
+        assert math.isclose(bound.bits, upper, rel_tol=1e-9)
+
+    def test_unequal_sizes_can_beat_tau_star_vertex(self):
+        """With very skewed cardinalities a singleton vertex dominates."""
+        q = triangle_query()
+        bits = {"S1": 2.0**30, "S2": 2.0**10, "S3": 2.0**10}
+        bound = lower_bound(q, bits, 16)
+        assert bound.packing["S1"] == 1  # the (1,0,0) vertex wins
+        assert math.isclose(bound.bits, 2.0**30 / 16)
+
+
+class TestSpaceExponent:
+    def test_matching_case(self):
+        """Equal sizes: space exponent = 1 - 1/tau* (from [4])."""
+        q = triangle_query()
+        m = 2.0**24
+        bits = {"S1": m, "S2": m, "S3": m}
+        p = 256
+        eps = space_exponent(q, bits, p)
+        assert math.isclose(eps, 1 - 1 / 1.5, rel_tol=1e-6)
+
+    def test_join_space_exponent(self):
+        q = simple_join_query()
+        m = 2.0**24
+        eps = space_exponent(q, {"S1": m, "S2": m}, 256)
+        assert math.isclose(eps, 0.0, abs_tol=1e-6)
+
+    def test_empty_bits_rejected(self):
+        with pytest.raises(BoundError):
+            space_exponent(simple_join_query(), {"S1": 0.0, "S2": 0.0}, 4)
+
+
+class TestBroadcastReduction:
+    def test_small_relation_dropped(self):
+        q = simple_join_query()
+        bits = {"S1": 1000.0, "S2": 10.0}
+        dropped, remaining = broadcast_reduction(q, bits, 100)
+        assert dropped == ["S2"]
+        assert list(remaining) == ["S1"]
+
+    def test_nothing_dropped_when_balanced(self):
+        q = simple_join_query()
+        bits = {"S1": 1000.0, "S2": 900.0}
+        dropped, remaining = broadcast_reduction(q, bits, 10)
+        assert dropped == []
+        assert len(remaining) == 2

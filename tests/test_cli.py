@@ -1,0 +1,74 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestPackingsCommand:
+    def test_triangle(self, capsys):
+        assert main(["packings", "C3(x,y,z) :- R(x,y), S(y,z), T(z,x)"]) == 0
+        out = capsys.readouterr().out
+        assert "tau*" in out and "3/2" in out
+        assert "4 non-dominated vertices" in out
+
+    def test_bad_query_errors(self):
+        with pytest.raises(Exception):
+            main(["packings", "not a query"])
+
+
+class TestBoundsCommand:
+    def test_join_bounds(self, capsys):
+        assert main([
+            "bounds", "q(x,y,z) :- S1(x,z), S2(y,z)",
+            "--cardinality", "S1=4096", "--cardinality", "S2=1024",
+            "--domain", "100000", "-p", "64",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "optimal load" in out
+        assert "share exponents" in out
+        assert "space exponent" in out
+
+    def test_missing_cardinality_errors(self):
+        with pytest.raises(Exception):
+            main(["bounds", "q(x) :- S(x)", "-p", "4"])
+
+    def test_malformed_cardinality(self):
+        with pytest.raises(SystemExit):
+            main(["bounds", "q(x) :- S(x)", "--cardinality", "S1"])
+
+
+class TestRaceCommand:
+    def test_join_race_with_verification(self, capsys):
+        assert main([
+            "race", "q(x,y,z) :- S1(x,z), S2(y,z)",
+            "--workload", "zipf", "--skew", "1.2",
+            "-m", "200", "-p", "8", "--verify",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "skew-join" in out
+        assert "hashjoin" in out
+        assert "False" not in out  # every algorithm complete
+
+    def test_triangle_race_skips_binary_join_algorithms(self, capsys):
+        assert main([
+            "race", "C3(x,y,z) :- R(x,y), S(y,z), T(z,x)",
+            "--workload", "uniform", "-m", "150", "-p", "8",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "hypercube-lp" in out
+        assert "skew-join" not in out  # not applicable to 3 atoms
+
+    def test_worst_case_workload(self, capsys):
+        assert main([
+            "race", "q(x,y,z) :- S1(x,z), S2(y,z)",
+            "--workload", "worst", "-m", "80", "-p", "8", "--verify",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "False" not in out
+
+    def test_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            main([
+                "race", "q(x) :- S(x)", "--workload", "nope",
+            ])

@@ -1,0 +1,222 @@
+"""Unit tests for the HyperCube algorithm (Section 3.1)."""
+
+import math
+
+import pytest
+
+from repro.core import HyperCubeAlgorithm, ShareError, lower_bound
+from repro.data import (
+    matching_relation,
+    single_value_relation,
+    uniform_relation,
+)
+from repro.mpc import HashFamily, run_one_round
+from repro.query import parse_query, simple_join_query, triangle_query
+from repro.seq import Database
+from repro.stats import SimpleStatistics
+
+
+class TestConstruction:
+    def test_missing_share_rejected(self):
+        q = simple_join_query()
+        with pytest.raises(ShareError):
+            HyperCubeAlgorithm(q, {"x": 2, "y": 2})
+
+    def test_nonpositive_share_rejected(self):
+        q = simple_join_query()
+        with pytest.raises(ShareError):
+            HyperCubeAlgorithm(q, {"x": 2, "y": 0, "z": 2})
+
+    def test_grid_larger_than_p_rejected_at_plan_time(self):
+        q = simple_join_query()
+        algo = HyperCubeAlgorithm(q, {"x": 4, "y": 4, "z": 4})
+        db = Database.from_relations(
+            [
+                uniform_relation("S1", 10, 32, seed=1),
+                uniform_relation("S2", 10, 32, seed=2),
+            ]
+        )
+        with pytest.raises(ShareError):
+            algo.routing_plan(db, p=32, hashes=HashFamily(0))
+
+    def test_with_equal_shares(self):
+        q = triangle_query()
+        algo = HyperCubeAlgorithm.with_equal_shares(q, 27)
+        assert algo.shares == {"x1": 3, "x2": 3, "x3": 3}
+
+    def test_with_optimal_shares_join(self):
+        q = simple_join_query()
+        db = Database.from_relations(
+            [
+                uniform_relation("S1", 500, 4000, seed=1),
+                uniform_relation("S2", 500, 4000, seed=2),
+            ]
+        )
+        algo = HyperCubeAlgorithm.with_optimal_shares(
+            q, SimpleStatistics.of(db), 64
+        )
+        # Equal-size join: the LP pushes everything onto z.
+        assert algo.shares["z"] == 64
+        assert algo.shares["x"] == algo.shares["y"] == 1
+
+
+class TestRoutingInvariants:
+    def test_tuple_replicated_along_free_dimensions(self):
+        q = simple_join_query()
+        algo = HyperCubeAlgorithm(q, {"x": 2, "y": 3, "z": 2})
+        db = Database.from_relations(
+            [
+                uniform_relation("S1", 10, 32, seed=1),
+                uniform_relation("S2", 10, 32, seed=2),
+            ]
+        )
+        plan = algo.routing_plan(db, p=12, hashes=HashFamily(0))
+        # S1 knows x and z, free on y: exactly 3 destinations.
+        destinations = list(plan.destinations("S1", (4, 7)))
+        assert len(destinations) == 3
+        assert len(set(destinations)) == 3
+        assert all(0 <= d < 12 for d in destinations)
+
+    def test_fixed_dimension_consistency(self):
+        """Potential answers meet at the server of their hashed coordinates."""
+        q = simple_join_query()
+        algo = HyperCubeAlgorithm(q, {"x": 2, "y": 2, "z": 3})
+        db = Database.from_relations(
+            [
+                uniform_relation("S1", 10, 32, seed=1),
+                uniform_relation("S2", 10, 32, seed=2),
+            ]
+        )
+        plan = algo.routing_plan(db, p=12, hashes=HashFamily(1))
+        a, b, c = 3, 9, 17  # x, y, z values
+        s1_dests = set(plan.destinations("S1", (a, c)))
+        s2_dests = set(plan.destinations("S2", (b, c)))
+        assert s1_dests & s2_dests  # some server sees both
+
+    def test_describe_exposes_shares(self):
+        q = simple_join_query()
+        algo = HyperCubeAlgorithm(q, {"x": 1, "y": 1, "z": 4})
+        db = Database.from_relations(
+            [
+                uniform_relation("S1", 10, 32, seed=1),
+                uniform_relation("S2", 10, 32, seed=2),
+            ]
+        )
+        plan = algo.routing_plan(db, p=4, hashes=HashFamily(0))
+        assert plan.describe()["shares"] == {"x": 1, "y": 1, "z": 4}
+        assert plan.describe()["grid_size"] == 4
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("p", [1, 4, 8, 27])
+    def test_complete_on_uniform_join(self, p):
+        q = simple_join_query()
+        db = Database.from_relations(
+            [
+                uniform_relation("S1", 300, 900, seed=3),
+                uniform_relation("S2", 300, 900, seed=4),
+            ]
+        )
+        algo = HyperCubeAlgorithm.with_equal_shares(q, p)
+        result = run_one_round(algo, db, p, verify=True)
+        assert result.is_complete
+
+    def test_complete_on_triangles(self):
+        q = triangle_query()
+        db = Database.from_relations(
+            [
+                uniform_relation("S1", 200, 120, seed=5),
+                uniform_relation("S2", 200, 120, seed=6),
+                uniform_relation("S3", 200, 120, seed=7),
+            ]
+        )
+        algo = HyperCubeAlgorithm.with_equal_shares(q, 27)
+        result = run_one_round(algo, db, 27, verify=True)
+        assert result.is_complete
+
+    def test_complete_under_adversarial_skew(self):
+        q = simple_join_query()
+        db = Database.from_relations(
+            [
+                single_value_relation("S1", 80, 200, seed=8),
+                single_value_relation("S2", 80, 200, seed=9),
+            ]
+        )
+        algo = HyperCubeAlgorithm.with_equal_shares(q, 8)
+        result = run_one_round(algo, db, 8, verify=True)
+        assert result.is_complete
+
+    def test_complete_with_lp_shares_many_seeds(self):
+        q = simple_join_query()
+        db = Database.from_relations(
+            [
+                uniform_relation("S1", 200, 600, seed=10),
+                uniform_relation("S2", 200, 600, seed=11),
+            ]
+        )
+        algo = HyperCubeAlgorithm.with_optimal_shares(
+            q, SimpleStatistics.of(db), 16
+        )
+        for seed in range(5):
+            assert run_one_round(algo, db, 16, seed=seed, verify=True).is_complete
+
+    def test_repeated_variable_atom(self):
+        from repro.seq import Relation
+
+        q = parse_query("q(x, y) :- S(x, x), T(x, y)")
+        db = Database.from_relations(
+            [
+                Relation.build("S", [(0, 0), (1, 1), (1, 2)], domain_size=4),
+                Relation.build("T", [(0, 3), (1, 3)], domain_size=4),
+            ]
+        )
+        algo = HyperCubeAlgorithm(q, {"x": 2, "y": 2})
+        result = run_one_round(algo, db, 4, verify=True)
+        assert result.is_complete
+
+
+class TestLoadPredictions:
+    def test_expected_load_formula(self):
+        q = simple_join_query()
+        db = Database.from_relations(
+            [
+                uniform_relation("S1", 512, 4096, seed=12),
+                uniform_relation("S2", 512, 4096, seed=13),
+            ]
+        )
+        stats = SimpleStatistics.of(db)
+        algo = HyperCubeAlgorithm(q, {"x": 1, "y": 1, "z": 16})
+        expected = algo.expected_max_load_bits(stats)
+        assert math.isclose(expected, stats.bits("S1") / 16)
+
+    def test_worst_case_load_formula(self):
+        """Corollary 3.2(ii): max_j M_j / min_(i in S_j) p_i."""
+        q = simple_join_query()
+        db = Database.from_relations(
+            [
+                uniform_relation("S1", 512, 4096, seed=12),
+                uniform_relation("S2", 512, 4096, seed=13),
+            ]
+        )
+        stats = SimpleStatistics.of(db)
+        algo = HyperCubeAlgorithm(q, {"x": 2, "y": 2, "z": 4})
+        assert math.isclose(
+            algo.worst_case_load_bits(stats), stats.bits("S1") / 2
+        )
+
+    def test_skew_free_load_tracks_lp_bound(self):
+        """Measured load within a polylog factor of L_upper (Theorem 3.4)."""
+        q = simple_join_query()
+        db = Database.from_relations(
+            [
+                matching_relation("S1", 2000, 8000, seed=14),
+                matching_relation("S2", 2000, 8000, seed=15),
+            ]
+        )
+        stats = SimpleStatistics.of(db)
+        p = 16
+        algo = HyperCubeAlgorithm.with_optimal_shares(q, stats, p)
+        result = run_one_round(algo, db, p, compute_answers=False)
+        bound = lower_bound(q, stats.bits_vector(q), p).bits
+        assert result.max_load_bits >= 0.5 * bound  # can't beat the bound much
+        assert result.max_load_bits <= 8 * bound  # and stays close to it

@@ -1,0 +1,106 @@
+"""Unit tests for the exact rational simplex."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.lp import (
+    INFEASIBLE,
+    OPTIMAL,
+    UNBOUNDED,
+    LPError,
+    maximize,
+    minimize,
+)
+
+
+class TestMaximize:
+    def test_textbook_lp(self):
+        result = maximize([3, 5], [[1, 0], [0, 2], [3, 2]], [4, 12, 18])
+        assert result.is_optimal
+        assert result.objective == 36
+        assert result.x == (Fraction(2), Fraction(6))
+
+    def test_degenerate_ties_terminate(self):
+        """Bland's rule must survive degeneracy."""
+        result = maximize(
+            [10, -57, -9, -24],
+            [
+                [Fraction(1, 2), Fraction(-11, 2), Fraction(-5, 2), 9],
+                [Fraction(1, 2), Fraction(-3, 2), Fraction(-1, 2), 1],
+                [1, 0, 0, 0],
+            ],
+            [0, 0, 1],
+        )
+        assert result.is_optimal
+        assert result.objective == 1
+
+    def test_unbounded(self):
+        result = maximize([1, 1], [[1, -1]], [1])
+        assert result.status == UNBOUNDED
+        assert result.objective is None
+
+    def test_infeasible(self):
+        # x >= 5 and x <= 1
+        result = maximize([1], [[-1], [1]], [-5, 1])
+        assert result.status == INFEASIBLE
+
+    def test_negative_rhs_feasible(self):
+        # x >= 2, x <= 7, maximize -x  => x = 2
+        result = maximize([-1], [[-1], [1]], [-2, 7])
+        assert result.is_optimal
+        assert result.x == (Fraction(2),)
+
+    def test_equality_via_two_inequalities(self):
+        # x + y = 4 encoded as <= and >=; maximize x with x <= 3.
+        result = maximize(
+            [1, 0], [[1, 1], [-1, -1], [1, 0]], [4, -4, 3]
+        )
+        assert result.is_optimal
+        assert result.objective == 3
+        assert result.x == (Fraction(3), Fraction(1))
+
+    def test_zero_objective(self):
+        result = maximize([0, 0], [[1, 1]], [5])
+        assert result.is_optimal
+        assert result.objective == 0
+
+    def test_no_constraints_zero_is_optimal_for_negative_costs(self):
+        result = maximize([-1, -2], [], [])
+        assert result.is_optimal
+        assert result.x == (Fraction(0), Fraction(0))
+
+    def test_no_constraints_unbounded_for_positive_costs(self):
+        result = maximize([1], [], [])
+        assert result.status == UNBOUNDED
+
+    def test_exactness_no_float_drift(self):
+        """1/3-style coefficients stay exact."""
+        third = Fraction(1, 3)
+        result = maximize([1, 1], [[third, third]], [1])
+        assert result.objective == 3
+
+    def test_shape_validation(self):
+        with pytest.raises(LPError):
+            maximize([1], [[1, 2]], [1])
+        with pytest.raises(LPError):
+            maximize([1], [[1]], [1, 2])
+
+
+class TestMinimize:
+    def test_simple(self):
+        # minimize x + y subject to x + y >= 3
+        result = minimize([1, 1], [[-1, -1]], [-3])
+        assert result.is_optimal
+        assert result.objective == 3
+
+    def test_vertex_cover_triangle(self):
+        """tau* of the triangle: min sum v_i with v_i + v_j >= 1 per edge."""
+        rows = [[-1, -1, 0], [0, -1, -1], [-1, 0, -1]]
+        result = minimize([1, 1, 1], rows, [-1, -1, -1])
+        assert result.is_optimal
+        assert result.objective == Fraction(3, 2)
+
+    def test_infeasible_propagates(self):
+        result = minimize([1], [[1], [-1]], [1, -5])
+        assert result.status == INFEASIBLE

@@ -1,0 +1,206 @@
+"""Unit tests for the MPC simulator: hashing, cluster, allocation,
+execution."""
+
+import math
+
+import pytest
+
+from repro.data import uniform_relation
+from repro.mpc import (
+    Cluster,
+    HashFamily,
+    ServerAllocator,
+    run_one_round,
+)
+from repro.mpc.execution import OneRoundAlgorithm, RoutingPlan
+from repro.query import parse_query
+from repro.seq import Database, Relation
+
+
+class TestHashFamily:
+    def test_deterministic(self):
+        h1 = HashFamily(42)
+        h2 = HashFamily(42)
+        assert h1.raw("a", 7) == h2.raw("a", 7)
+        assert h1.bucket("a", 7, 10) == h2.bucket("a", 7, 10)
+
+    def test_different_seeds_differ(self):
+        values = [HashFamily(s).raw("a", 7) for s in range(8)]
+        assert len(set(values)) == 8
+
+    def test_different_salts_independent(self):
+        h = HashFamily(0)
+        buckets_a = [h.bucket("a", v, 16) for v in range(100)]
+        buckets_b = [h.bucket("b", v, 16) for v in range(100)]
+        assert buckets_a != buckets_b
+
+    def test_bucket_range(self):
+        h = HashFamily(1)
+        for v in range(200):
+            assert 0 <= h.bucket("s", v, 7) < 7
+
+    def test_single_bucket(self):
+        assert HashFamily(0).bucket("s", 123, 1) == 0
+
+    def test_bad_bucket_count(self):
+        with pytest.raises(ValueError):
+            HashFamily(0).bucket("s", 1, 0)
+
+    def test_roughly_uniform(self):
+        h = HashFamily(3)
+        buckets = 8
+        counts = [0] * buckets
+        n = 8000
+        for v in range(n):
+            counts[h.bucket("u", v, buckets)] += 1
+        expected = n / buckets
+        for count in counts:
+            assert 0.85 * expected < count < 1.15 * expected
+
+    def test_subfamily_differs(self):
+        h = HashFamily(5)
+        sub = h.subfamily("inner")
+        assert sub.raw("a", 1) != h.raw("a", 1) or sub.seed != h.seed
+
+    def test_negative_values_hash(self):
+        h = HashFamily(0)
+        assert isinstance(h.raw("s", -12), int)
+
+
+class TestCluster:
+    def test_send_accounts_bits(self):
+        c = Cluster(4)
+        c.send(0, "S", (1, 2), 8.0)
+        c.send(0, "S", (3, 4), 8.0)
+        report = c.load_report(input_tuples=2, input_bits=16.0)
+        assert report.per_server_tuples == (2, 0, 0, 0)
+        assert report.max_load_bits == 16.0
+        assert report.max_load_tuples == 2
+
+    def test_duplicate_sends_charged_once(self):
+        c = Cluster(2)
+        c.send(1, "S", (1, 2), 8.0)
+        c.send(1, "S", (1, 2), 8.0)
+        assert c.servers[1].received_tuples == 1
+
+    def test_broadcast(self):
+        c = Cluster(3)
+        c.broadcast("S", (0,), 4.0)
+        assert all(s.received_tuples == 1 for s in c.servers)
+
+    def test_replication_rate(self):
+        c = Cluster(2)
+        c.send(0, "S", (1,), 4.0)
+        c.send(1, "S", (1,), 4.0)
+        report = c.load_report(input_tuples=1, input_bits=4.0)
+        assert report.replication_rate == 2.0
+
+    def test_balance(self):
+        c = Cluster(2)
+        c.send(0, "S", (1,), 4.0)
+        report = c.load_report(1, 4.0)
+        assert report.balance == 2.0  # all weight on one of two servers
+
+    def test_out_of_range_send(self):
+        c = Cluster(2)
+        with pytest.raises(IndexError):
+            c.send(5, "S", (1,), 1.0)
+
+    def test_needs_a_server(self):
+        with pytest.raises(ValueError):
+            Cluster(0)
+
+    def test_describe_smoke(self):
+        c = Cluster(2)
+        c.send(0, "S", (1,), 4.0)
+        assert "p=2" in c.load_report(1, 4.0).describe()
+
+
+class TestServerAllocator:
+    def test_wraps_modulo_p(self):
+        a = ServerAllocator(4)
+        assert a.allocate(3) == (0, 1, 2)
+        assert a.allocate(3) == (3, 0, 1)
+        assert a.total_allocated == 6
+        assert a.overcommit == 1.5
+
+    def test_clamps_to_pool(self):
+        a = ServerAllocator(4)
+        assert len(a.allocate(100)) == 4
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ServerAllocator(4).allocate(0)
+        with pytest.raises(ValueError):
+            ServerAllocator(0)
+
+
+class _RoundRobinPlan(RoutingPlan):
+    def __init__(self, p):
+        self.p = p
+
+    def destinations(self, relation_name, tup):
+        return (sum(tup) % self.p,)
+
+    def describe(self):
+        return {"policy": "round-robin"}
+
+
+class _RoundRobin(OneRoundAlgorithm):
+    """Partitions tuples by value sum — complete only for trivial queries."""
+
+    def __init__(self, query):
+        super().__init__(query, "round-robin")
+
+    def routing_plan(self, db, p, hashes):
+        return _RoundRobinPlan(p)
+
+
+class TestRunOneRound:
+    def _single_atom_setup(self):
+        q = parse_query("q(x, y) :- S(x, y)")
+        db = Database.from_relations([uniform_relation("S", 50, 64, seed=1)])
+        return q, db
+
+    def test_single_atom_query_complete(self):
+        q, db = self._single_atom_setup()
+        result = run_one_round(_RoundRobin(q), db, p=4, verify=True)
+        assert result.is_complete
+        assert result.answer_count == 50
+
+    def test_load_accounting_matches_input(self):
+        q, db = self._single_atom_setup()
+        result = run_one_round(_RoundRobin(q), db, p=4)
+        # Each tuple goes to exactly one server: no replication.
+        assert math.isclose(result.report.replication_rate, 1.0)
+        assert result.report.total_tuples == 50
+
+    def test_compute_answers_false(self):
+        q, db = self._single_atom_setup()
+        result = run_one_round(_RoundRobin(q), db, p=4, compute_answers=False)
+        assert result.answers is None
+        assert result.answer_count is None
+        assert result.is_complete is None
+
+    def test_incomplete_algorithm_detected(self):
+        """Sum-partitioning a join is wrong; verification must catch it."""
+        q = parse_query("q(x, y, z) :- S1(x, z), S2(y, z)")
+        db = Database.from_relations(
+            [
+                Relation.build("S1", [(0, 1), (2, 3)], domain_size=8),
+                Relation.build("S2", [(1, 1), (5, 3)], domain_size=8),
+            ]
+        )
+        result = run_one_round(_RoundRobin(q), db, p=4, verify=True)
+        assert result.is_complete is False
+
+    def test_details_from_plan(self):
+        q, db = self._single_atom_setup()
+        result = run_one_round(_RoundRobin(q), db, p=4)
+        assert result.details == {"policy": "round-robin"}
+
+    def test_seed_changes_nothing_for_deterministic_plans(self):
+        q, db = self._single_atom_setup()
+        r1 = run_one_round(_RoundRobin(q), db, p=4, seed=1)
+        r2 = run_one_round(_RoundRobin(q), db, p=4, seed=2)
+        assert r1.report.per_server_tuples == r2.report.per_server_tuples

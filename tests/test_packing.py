@@ -1,0 +1,177 @@
+"""Unit tests for fractional edge packings/covers and pk(q)."""
+
+from fractions import Fraction
+
+from repro.core import (
+    fractional_edge_cover_number,
+    fractional_vertex_cover_number,
+    is_edge_cover,
+    is_edge_packing,
+    is_tight,
+    maximum_packing,
+    maximum_packing_value,
+    minimum_edge_cover,
+    non_dominated_packing_vertices,
+    packing_value,
+    packing_vertices,
+)
+from repro.query import (
+    cartesian_product_query,
+    chain_query,
+    clique_query,
+    cycle_query,
+    parse_query,
+    simple_join_query,
+    star_query,
+    triangle_query,
+)
+
+
+def F(a, b=1):
+    return Fraction(a, b)
+
+
+class TestFeasibility:
+    def test_chain_l3_example_from_paper(self):
+        """Section 2.2: (1, 0, 1) is a tight feasible packing of L3."""
+        q = chain_query(3)
+        u = {"S1": 1, "S2": 0, "S3": 1}
+        assert is_edge_packing(q, u)
+        assert is_tight(q, u)
+        assert is_edge_cover(q, u)
+
+    def test_triangle_half_packing(self):
+        q = triangle_query()
+        u = {"S1": F(1, 2), "S2": F(1, 2), "S3": F(1, 2)}
+        assert is_edge_packing(q, u)
+        assert is_tight(q, u)
+
+    def test_oversubscription_rejected(self):
+        q = triangle_query()
+        assert not is_edge_packing(q, {"S1": 1, "S2": 1, "S3": 0})
+
+    def test_negative_weight_rejected(self):
+        q = triangle_query()
+        assert not is_edge_packing(q, {"S1": -1, "S2": 0, "S3": 0})
+        assert not is_edge_cover(q, {"S1": -1, "S2": 1, "S3": 1})
+
+    def test_tight_packing_is_tight_cover(self):
+        """Section 2.2: tight packings and tight covers coincide."""
+        q = chain_query(2)
+        u = {"S1": F(1, 2), "S2": F(1, 2)}
+        # Middle variable gets 1, ends get 1/2 — packing but not tight.
+        assert is_edge_packing(q, u)
+        assert not is_tight(q, u)
+        tight = {"S1": 1, "S2": 1}
+        assert not is_edge_packing(q, tight)  # middle oversubscribed
+
+
+class TestMaximumPacking:
+    def test_triangle_tau_star(self):
+        assert maximum_packing_value(triangle_query()) == F(3, 2)
+
+    def test_chain_tau_star(self):
+        # L3: vertices x1..x4; (1,0,1) attains 2.
+        assert maximum_packing_value(chain_query(3)) == 2
+
+    def test_star_tau_star(self):
+        # All atoms share z, so tau* = 1.
+        assert maximum_packing_value(star_query(4)) == 1
+
+    def test_cartesian_product_tau_star(self):
+        # Disjoint atoms: all weights can be 1.
+        assert maximum_packing_value(cartesian_product_query(3)) == 3
+
+    def test_clique_tau_star(self):
+        # K4: 4 vertices, perfect fractional matching value 2.
+        assert maximum_packing_value(clique_query(4)) == 2
+
+    def test_maximum_packing_is_feasible_and_attains_value(self):
+        q = triangle_query()
+        u = maximum_packing(q)
+        assert is_edge_packing(q, u)
+        assert packing_value(u) == maximum_packing_value(q)
+
+    def test_duality_with_vertex_cover(self):
+        """tau* equals the fractional vertex covering number (Section 3.2)."""
+        for q in [
+            triangle_query(),
+            chain_query(4),
+            star_query(3),
+            clique_query(4),
+            simple_join_query(),
+        ]:
+            assert maximum_packing_value(q) == fractional_vertex_cover_number(q)
+
+
+class TestVertexEnumeration:
+    def test_triangle_pk_matches_example_3_7(self):
+        vertices = non_dominated_packing_vertices(triangle_query())
+        as_sets = {tuple(sorted(v.items())) for v in vertices}
+        expected = {
+            (("S1", F(1, 2)), ("S2", F(1, 2)), ("S3", F(1, 2))),
+            (("S1", F(1)), ("S2", F(0)), ("S3", F(0))),
+            (("S1", F(0)), ("S2", F(1)), ("S3", F(0))),
+            (("S1", F(0)), ("S2", F(0)), ("S3", F(1))),
+        }
+        assert as_sets == expected
+
+    def test_join_pk(self):
+        """pk of the simple join: (1,0) and (0,1) (Example 4.8)."""
+        vertices = non_dominated_packing_vertices(simple_join_query())
+        as_sets = {tuple(sorted(v.items())) for v in vertices}
+        assert as_sets == {
+            (("S1", F(1)), ("S2", F(0))),
+            (("S1", F(0)), ("S2", F(1))),
+        }
+
+    def test_all_vertices_include_origin(self):
+        vertices = packing_vertices(triangle_query())
+        assert {"S1": F(0), "S2": F(0), "S3": F(0)} in vertices
+
+    def test_non_dominated_excludes_origin(self):
+        vertices = non_dominated_packing_vertices(triangle_query())
+        assert {"S1": F(0), "S2": F(0), "S3": F(0)} not in vertices
+
+    def test_every_vertex_is_feasible(self):
+        for q in [triangle_query(), chain_query(3), star_query(3)]:
+            for vertex in packing_vertices(q):
+                assert is_edge_packing(q, vertex)
+
+    def test_max_value_attained_on_vertices(self):
+        for q in [triangle_query(), chain_query(4), clique_query(4)]:
+            best = max(
+                packing_value(v) for v in non_dominated_packing_vertices(q)
+            )
+            assert best == maximum_packing_value(q)
+
+
+class TestEdgeCovers:
+    def test_triangle_rho_star(self):
+        assert fractional_edge_cover_number(triangle_query()) == F(3, 2)
+
+    def test_chain_rho_star(self):
+        assert fractional_edge_cover_number(chain_query(3)) == 2
+
+    def test_star_rho_star(self):
+        # Must cover every ray variable: all atoms get weight 1.
+        assert fractional_edge_cover_number(star_query(3)) == 3
+
+    def test_minimum_edge_cover_feasible(self):
+        q = triangle_query()
+        cover = minimum_edge_cover(q)
+        assert is_edge_cover(q, cover)
+
+    def test_weighted_cover_prefers_cheap_atoms(self):
+        q = simple_join_query()
+        # S1 expensive: the cover should leans on S2... but both are needed
+        # to cover x and y respectively; weights must each be >= 1.
+        cover = minimum_edge_cover(q, {"S1": 10, "S2": 1})
+        assert cover["S1"] >= 1 and cover["S2"] >= 1
+
+    def test_self_loop_query_packing(self):
+        """A query with a repeated variable in one atom."""
+        q = parse_query("q(x, y) :- S(x, x), T(x, y)")
+        assert maximum_packing_value(q) >= 1
+        for vertex in packing_vertices(q):
+            assert is_edge_packing(q, vertex)

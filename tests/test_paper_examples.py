@@ -1,0 +1,205 @@
+"""End-to-end reproductions of the paper's worked examples.
+
+Each test class regenerates one numbered example from the paper at small
+scale; the benchmark suite regenerates them at full scale.
+"""
+
+import math
+from fractions import Fraction
+
+from repro.core import (
+    HashJoinAlgorithm,
+    HyperCubeAlgorithm,
+    lower_bound,
+    non_dominated_packing_vertices,
+    replication_rate_lower_bound,
+    residual_lower_bound,
+    vertex_loads,
+)
+from repro.data import single_value_relation, uniform_relation
+from repro.mpc import run_one_round
+from repro.query import simple_join_query, triangle_query
+from repro.seq import Database
+from repro.stats import DegreeStatistics, SimpleStatistics
+
+
+class TestExample33:
+    """Example 3.3: two share allocations for the simple join."""
+
+    def _skewed_db(self, m=120):
+        return Database.from_relations(
+            [
+                single_value_relation("S1", m, 400, seed=1),
+                single_value_relation("S2", m, 400, seed=2),
+            ]
+        )
+
+    def _uniform_db(self, m=512):
+        return Database.from_relations(
+            [
+                uniform_relation("S1", m, 4096, seed=3),
+                uniform_relation("S2", m, 4096, seed=4),
+            ]
+        )
+
+    def test_cube_shares_on_skewed_data(self):
+        """Shares (p^(1/3))^3: load O(m/p^(1/3)) even under worst skew."""
+        p = 27
+        m = 120
+        db = self._skewed_db(m)
+        algo = HyperCubeAlgorithm.with_equal_shares(simple_join_query(), p)
+        result = run_one_round(algo, db, p, verify=True)
+        assert result.is_complete
+        # Every S1 tuple replicates along y (3 copies): per-server expectation
+        # is 2 * 3m / 27; the guarantee is <= 2m/p^(1/3) = 2m/3.
+        assert result.max_load_tuples <= 2 * m / 3 + 40
+
+    def test_hash_join_on_skewed_data_collapses(self):
+        """Shares (1,1,p): load Omega(m) when all z values collide."""
+        p = 27
+        m = 120
+        db = self._skewed_db(m)
+        algo = HashJoinAlgorithm(simple_join_query(), p)
+        result = run_one_round(algo, db, p, verify=True)
+        assert result.is_complete
+        assert result.max_load_tuples == 2 * m  # everything on one server
+
+    def test_hash_join_on_uniform_data_is_ideal(self):
+        """Shares (1,1,p): load O(m/p) on skew-free data."""
+        p = 16
+        m = 512
+        db = self._uniform_db(m)
+        algo = HashJoinAlgorithm(simple_join_query(), p)
+        result = run_one_round(algo, db, p, verify=True)
+        assert result.is_complete
+        # Ideal is 2m/p = 64 tuples; allow hashing variance.
+        assert result.max_load_tuples <= 4 * 2 * m / p
+
+    def test_cube_beats_hash_join_under_skew(self):
+        p = 27
+        db = self._skewed_db()
+        cube = run_one_round(
+            HyperCubeAlgorithm.with_equal_shares(simple_join_query(), p),
+            db, p, compute_answers=False,
+        )
+        hashed = run_one_round(
+            HashJoinAlgorithm(simple_join_query(), p),
+            db, p, compute_answers=False,
+        )
+        assert cube.max_load_tuples < hashed.max_load_tuples
+
+
+class TestExample37:
+    """Example 3.7: the four pk(C3) vertices and their loads."""
+
+    def test_vertex_table(self):
+        q = triangle_query()
+        vertices = non_dominated_packing_vertices(q)
+        assert len(vertices) == 4
+        half = Fraction(1, 2)
+        assert {"S1": half, "S2": half, "S3": half} in vertices
+
+    def test_load_is_max_of_four_expressions(self):
+        q = triangle_query()
+        m1, m2, m3 = 2.0**22, 2.0**19, 2.0**15
+        bits = {"S1": m1, "S2": m2, "S3": m3}
+        p = 64
+        expressions = {
+            (m1 * m2 * m3) ** (1 / 3) / p ** (2 / 3),
+            m1 / p,
+            m2 / p,
+            m3 / p,
+        }
+        computed = {value for _, value in vertex_loads(q, bits, p)}
+        for expected in expressions:
+            assert any(math.isclose(expected, c, rel_tol=1e-9) for c in computed)
+        assert math.isclose(
+            lower_bound(q, bits, p).bits, max(expressions), rel_tol=1e-9
+        )
+
+    def test_regime_switch(self):
+        """Which vertex wins depends on the cardinalities."""
+        q = triangle_query()
+        p = 64
+        balanced = lower_bound(q, {"S1": 2.0**20, "S2": 2.0**20, "S3": 2.0**20}, p)
+        assert float(sum(balanced.packing.values())) == 1.5
+        lopsided = lower_bound(q, {"S1": 2.0**30, "S2": 2.0**8, "S3": 2.0**8}, p)
+        assert lopsided.packing["S1"] == 1
+
+
+class TestExample48:
+    """Example 4.8: residual lower bounds for the join and the triangle."""
+
+    def test_join_residual_formula(self):
+        q = simple_join_query()
+        m = 90
+        db = Database.from_relations(
+            [
+                single_value_relation("S1", m, 256, seed=5),
+                single_value_relation("S2", m, 256, seed=6),
+            ]
+        )
+        p = 16
+        stats = DegreeStatistics.of(q, db, {"z"})
+        bound = residual_lower_bound(q, stats, p)
+        # sqrt(sum_h M1(h) M2(h) / p) with a single h carrying everything.
+        bits_1 = db.relation("S1").bits
+        bits_2 = db.relation("S2").bits
+        assert math.isclose(
+            bound.bits, math.sqrt(bits_1 * bits_2 / p), rel_tol=1e-9
+        )
+
+    def test_triangle_saturating_packing(self):
+        q = triangle_query()
+        db = Database.from_relations(
+            [
+                uniform_relation("S1", 120, 100, seed=7),
+                uniform_relation("S2", 120, 100, seed=8),
+                uniform_relation("S3", 120, 100, seed=9),
+            ]
+        )
+        stats = DegreeStatistics.of(q, db, {"x1"})
+        bound = residual_lower_bound(q, stats, 16)
+        assert bound is not None
+        # The witness packing must saturate x1 (S1 and S3 jointly).
+        assert bound.packing["S1"] + bound.packing["S3"] >= 1
+
+
+class TestExample52:
+    """Example 5.2: triangle replication rate in the MapReduce model."""
+
+    def test_equal_size_bound(self):
+        q = triangle_query()
+        M = 2.0**18
+        L = 2.0**12
+        value, packing = replication_rate_lower_bound(q, {"S1": M, "S2": M, "S3": M}, L)
+        assert math.isclose(value, math.sqrt(M / L) / 3, rel_tol=1e-9)
+        assert float(sum(packing.values())) == 1.5
+
+    def test_unequal_sizes_still_bounded(self):
+        q = triangle_query()
+        value, _ = replication_rate_lower_bound(
+            q, {"S1": 2.0**20, "S2": 2.0**16, "S3": 2.0**12}, 2.0**10
+        )
+        assert value > 0.5  # nontrivial even with very unequal sizes
+
+
+class TestSection31SharesExample:
+    """The 'generalizing the example' paragraph: equal shares p^(1/k) give
+    max_j M_j / p^(1/k) worst case for any query."""
+
+    def test_triangle_worst_case_guarantee(self):
+        q = triangle_query()
+        p = 27
+        db = Database.from_relations(
+            [
+                single_value_relation("S1", 100, 256, fixed_position=0, seed=10),
+                single_value_relation("S2", 100, 256, fixed_position=0, seed=11),
+                single_value_relation("S3", 100, 256, fixed_position=0, seed=12),
+            ]
+        )
+        stats = SimpleStatistics.of(db)
+        algo = HyperCubeAlgorithm.with_equal_shares(q, p)
+        result = run_one_round(algo, db, p, compute_answers=False)
+        guarantee = algo.worst_case_load_bits(stats)
+        assert result.max_load_bits <= 3 * guarantee

@@ -1,0 +1,72 @@
+"""Unit tests for the datalog-like query parser."""
+
+import pytest
+
+from repro.query import QueryError, parse_atom, parse_query
+
+
+class TestParseAtom:
+    def test_simple(self):
+        atom = parse_atom("S1(x, y)")
+        assert atom.name == "S1"
+        assert atom.variables == ("x", "y")
+
+    def test_whitespace_tolerance(self):
+        atom = parse_atom("  S1 ( x ,y )  ")
+        assert atom.variables == ("x", "y")
+
+    def test_primed_variables(self):
+        atom = parse_atom("S(x', y)")
+        assert atom.variables == ("x'", "y")
+
+    def test_nullary(self):
+        assert parse_atom("S()").arity == 0
+
+    def test_rejects_garbage(self):
+        with pytest.raises(QueryError):
+            parse_atom("S1[x]")
+
+    def test_rejects_bad_variable(self):
+        with pytest.raises(QueryError):
+            parse_atom("S1(x, 2y)")
+
+
+class TestParseQuery:
+    def test_with_head(self):
+        q = parse_query("q(x, y, z) :- S1(x, z), S2(y, z)")
+        assert q.name == "q"
+        assert q.head == ("x", "y", "z")
+        assert [a.name for a in q.atoms] == ["S1", "S2"]
+
+    def test_without_head(self):
+        q = parse_query("S1(x, z), S2(y, z)")
+        assert q.head == ("x", "z", "y")
+
+    def test_triangle(self):
+        q = parse_query("C3(x,y,z) :- R(x,y), S(y,z), T(z,x)")
+        assert q.num_atoms == 3
+        assert q.atom("T").variables == ("z", "x")
+
+    def test_rejects_non_full_head(self):
+        with pytest.raises(QueryError):
+            parse_query("q(x) :- S(x, y)")
+
+    def test_rejects_self_join(self):
+        with pytest.raises(QueryError):
+            parse_query("S(x, y), S(y, z)")
+
+    def test_rejects_missing_comma(self):
+        with pytest.raises(QueryError):
+            parse_query("S(x, y) T(y, z)")
+
+    def test_rejects_empty_body(self):
+        with pytest.raises(QueryError):
+            parse_query("   ")
+
+    def test_rejects_bad_head(self):
+        with pytest.raises(QueryError):
+            parse_query("q(x :- S(x)")
+
+    def test_parse_str_roundtrip(self):
+        q = parse_query("q(x, y, z) :- S1(x, z), S2(y, z)")
+        assert parse_query(str(q)) == q

@@ -1,0 +1,160 @@
+"""Unit tests for the sequential multiway join oracle."""
+
+import itertools
+import math
+
+import pytest
+
+from repro.data import uniform_relation
+from repro.query import parse_query, triangle_query
+from repro.seq import (
+    Database,
+    Relation,
+    count_answers,
+    evaluate,
+    expected_answer_count,
+    local_join,
+)
+
+
+def brute_force(query, db):
+    """Reference join: enumerate all assignments over the active domain."""
+    values = sorted(
+        {v for rel in db for t in rel.tuples for v in t}
+    ) or [0]
+    answers = set()
+    for assignment in itertools.product(values, repeat=query.num_variables):
+        binding = dict(zip(query.variables, assignment))
+        ok = True
+        for atom in query.atoms:
+            tup = tuple(binding[v] for v in atom.variables)
+            if tup not in db.relation(atom.name).tuples:
+                ok = False
+                break
+        if ok:
+            answers.add(tuple(binding[v] for v in query.head))
+    return frozenset(answers)
+
+
+class TestEvaluate:
+    def test_simple_join(self):
+        q = parse_query("q(x, y, z) :- S1(x, z), S2(y, z)")
+        db = Database.from_relations(
+            [
+                Relation.build("S1", [(0, 1), (1, 1), (2, 3)]),
+                Relation.build("S2", [(5, 1), (6, 3)], domain_size=7),
+            ]
+        )
+        assert evaluate(q, db) == frozenset(
+            {(0, 5, 1), (1, 5, 1), (2, 6, 3)}
+        )
+
+    def test_matches_brute_force_on_random_instances(self):
+        q = triangle_query()
+        db = Database.from_relations(
+            [
+                uniform_relation("S1", 40, 12, seed=1),
+                uniform_relation("S2", 40, 12, seed=2),
+                uniform_relation("S3", 40, 12, seed=3),
+            ]
+        )
+        assert evaluate(q, db) == brute_force(q, db)
+
+    def test_chain_matches_brute_force(self):
+        q = parse_query("q(a,b,c,d) :- R(a,b), S(b,c), T(c,d)")
+        db = Database.from_relations(
+            [
+                uniform_relation("R", 30, 8, seed=4),
+                uniform_relation("S", 30, 8, seed=5),
+                uniform_relation("T", 30, 8, seed=6),
+            ]
+        )
+        assert evaluate(q, db) == brute_force(q, db)
+
+    def test_head_order_respected(self):
+        q = parse_query("q(z, x) :- S(x, z)")
+        db = Database.from_relations([Relation.build("S", [(1, 2)])])
+        assert evaluate(q, db) == frozenset({(2, 1)})
+
+    def test_empty_relation_gives_empty_join(self):
+        q = parse_query("q(x, y) :- S(x), T(x, y)")
+        db = Database.from_relations(
+            [
+                Relation.build("S", [], arity=1, domain_size=4),
+                Relation.build("T", [(0, 1)]),
+            ]
+        )
+        assert evaluate(q, db) == frozenset()
+
+    def test_repeated_variable_in_atom(self):
+        q = parse_query("q(x, y) :- S(x, x), T(x, y)")
+        db = Database.from_relations(
+            [
+                Relation.build("S", [(0, 0), (1, 2)], domain_size=3),
+                Relation.build("T", [(0, 2), (1, 2)], domain_size=3),
+            ]
+        )
+        # Only (0,0) survives the S(x,x) constraint.
+        assert evaluate(q, db) == frozenset({(0, 2)})
+
+    def test_cartesian_product(self):
+        q = parse_query("q(x, y) :- S(x), T(y)")
+        db = Database.from_relations(
+            [
+                Relation.build("S", [(0,), (1,)], domain_size=3),
+                Relation.build("T", [(2,)], domain_size=3),
+            ]
+        )
+        assert evaluate(q, db) == frozenset({(0, 2), (1, 2)})
+
+    def test_count_answers(self):
+        q = parse_query("q(x, y) :- S(x), T(y)")
+        db = Database.from_relations(
+            [
+                Relation.build("S", [(0,), (1,)], domain_size=3),
+                Relation.build("T", [(0,), (2,)], domain_size=3),
+            ]
+        )
+        assert count_answers(q, db) == 4
+
+
+class TestLocalJoin:
+    def test_missing_fragment_is_empty(self):
+        q = parse_query("q(x, y, z) :- S1(x, z), S2(y, z)")
+        assert local_join(q, {"S1": {(0, 1)}}, domain_size=4) == frozenset()
+
+    def test_local_fragments_join(self):
+        q = parse_query("q(x, y, z) :- S1(x, z), S2(y, z)")
+        fragments = {"S1": {(0, 1)}, "S2": {(2, 1), (3, 0)}}
+        assert local_join(q, fragments, domain_size=4) == frozenset({(0, 2, 1)})
+
+
+class TestExpectedAnswerCount:
+    def test_lemma_a1_formula(self):
+        """E[|q(I)|] = n^(k-a) * prod m_j."""
+        q = triangle_query()
+        value = expected_answer_count(q, {"S1": 10, "S2": 20, "S3": 30}, 100)
+        assert math.isclose(value, 100.0 ** (3 - 6) * 10 * 20 * 30)
+
+    def test_missing_cardinality_rejected(self):
+        q = triangle_query()
+        with pytest.raises(Exception):
+            expected_answer_count(q, {"S1": 10}, 100)
+
+    def test_empirical_match_on_random_instances(self):
+        """Average |q(I)| over random instances tracks Lemma A.1."""
+        q = parse_query("q(x, y, z) :- S1(x, z), S2(y, z)")
+        n, m = 40, 120
+        predicted = expected_answer_count(q, {"S1": m, "S2": m}, n)
+        total = 0
+        trials = 30
+        for seed in range(trials):
+            db = Database.from_relations(
+                [
+                    uniform_relation("S1", m, n, seed=seed * 2 + 1),
+                    uniform_relation("S2", m, n, seed=seed * 2 + 2),
+                ]
+            )
+            total += count_answers(q, db)
+        average = total / trials
+        assert 0.8 * predicted <= average <= 1.2 * predicted

@@ -1,0 +1,137 @@
+"""Unit tests for Relation and Database containers."""
+
+import math
+
+import pytest
+
+from repro.query import parse_query
+from repro.seq import Database, Relation, RelationError, bits_per_value
+
+
+class TestBitsPerValue:
+    def test_log2(self):
+        assert bits_per_value(1024) == 10.0
+
+    def test_degenerate_domain_clamped_to_one_bit(self):
+        assert bits_per_value(1) == 1.0
+        assert bits_per_value(2) == 1.0
+
+    def test_rejects_empty_domain(self):
+        with pytest.raises(RelationError):
+            bits_per_value(0)
+
+
+class TestRelation:
+    def test_build_infers_arity_and_domain(self):
+        r = Relation.build("S", [(0, 5), (1, 2)])
+        assert r.arity == 2
+        assert r.domain_size == 6
+        assert r.cardinality == 2
+
+    def test_build_deduplicates(self):
+        r = Relation.build("S", [(0, 1), (0, 1), (1, 1)])
+        assert r.cardinality == 2
+
+    def test_empty_needs_explicit_arity(self):
+        with pytest.raises(RelationError):
+            Relation.build("S", [])
+        r = Relation.build("S", [], arity=2, domain_size=10)
+        assert r.cardinality == 0
+
+    def test_rejects_out_of_domain(self):
+        with pytest.raises(RelationError):
+            Relation("S", 1, frozenset({(5,)}), domain_size=3)
+
+    def test_rejects_wrong_arity_tuple(self):
+        with pytest.raises(RelationError):
+            Relation("S", 2, frozenset({(1,)}), domain_size=3)
+
+    def test_bits_formula(self):
+        """M_j = a_j * m_j * log2(n) (Section 3)."""
+        r = Relation.build("S", [(0, 1), (2, 3)], domain_size=16)
+        assert r.tuple_bits == 2 * 4.0
+        assert r.bits == 2 * 2 * 4.0
+
+    def test_project(self):
+        r = Relation.build("S", [(0, 1), (2, 1), (2, 3)], domain_size=4)
+        proj = r.project([1])
+        assert proj.tuples == frozenset({(1,), (3,)})
+        with pytest.raises(RelationError):
+            r.project([5])
+
+    def test_select(self):
+        r = Relation.build("S", [(0, 1), (2, 1), (2, 3)], domain_size=4)
+        sel = r.select({1: 1})
+        assert sel.tuples == frozenset({(0, 1), (2, 1)})
+        with pytest.raises(RelationError):
+            r.select({9: 0})
+
+    def test_frequencies_are_degrees(self):
+        r = Relation.build("S", [(0, 1), (2, 1), (3, 1), (3, 0)], domain_size=4)
+        freq = r.frequencies([1])
+        assert freq[(1,)] == 3
+        assert freq[(0,)] == 1
+        pair_freq = r.frequencies([0, 1])
+        assert pair_freq[(3, 1)] == 1
+
+    def test_rename_and_with_domain(self):
+        r = Relation.build("S", [(0, 1)], domain_size=4)
+        assert r.rename("T").name == "T"
+        assert r.with_domain(100).domain_size == 100
+        with pytest.raises(RelationError):
+            r.with_domain(1)  # value 1 no longer fits in [0, 1)
+
+    def test_container_protocol(self):
+        r = Relation.build("S", [(0, 1), (2, 3)], domain_size=4)
+        assert len(r) == 2
+        assert (0, 1) in r
+        assert set(iter(r)) == {(0, 1), (2, 3)}
+
+
+class TestDatabase:
+    def test_from_relations_and_lookup(self):
+        db = Database.from_relations(
+            [Relation.build("S1", [(0, 1)]), Relation.build("S2", [(1, 2)])]
+        )
+        assert db.names == ("S1", "S2")
+        assert db.relation("S1").cardinality == 1
+        with pytest.raises(RelationError):
+            db.relation("S3")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(RelationError):
+            Database.from_relations(
+                [Relation.build("S", [(0,)]), Relation.build("S", [(1,)])]
+            )
+
+    def test_domain_is_max(self):
+        db = Database.from_relations(
+            [
+                Relation.build("S1", [(0,)], domain_size=5),
+                Relation.build("S2", [(0,)], domain_size=50),
+            ]
+        )
+        assert db.domain_size == 50
+
+    def test_totals(self):
+        db = Database.from_relations(
+            [
+                Relation.build("S1", [(0, 1), (1, 2)], domain_size=4),
+                Relation.build("S2", [(3, 3)], domain_size=4),
+            ]
+        )
+        assert db.total_tuples == 3
+        assert math.isclose(db.total_bits, 3 * 2 * 2.0)
+
+    def test_validate_against_query(self):
+        db = Database.from_relations(
+            [Relation.build("S1", [(0, 1)]), Relation.build("S2", [(1, 2)])]
+        )
+        q = parse_query("q(x, y, z) :- S1(x, z), S2(y, z)")
+        db.validate_against(q)  # should not raise
+        bad = parse_query("q(x, y, z) :- S1(x, y, z), S2(y, z)")
+        with pytest.raises(RelationError):
+            db.validate_against(bad)
+
+    def test_empty_database_domain(self):
+        assert Database.from_relations([]).domain_size == 1

@@ -1,0 +1,152 @@
+"""Unit tests for the share LP (5), its dual (8), and integer rounding."""
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.core import (
+    ShareError,
+    dual_share_solution,
+    equal_integer_shares,
+    integer_shares,
+    is_edge_packing,
+    optimal_share_exponents,
+    shares_product,
+)
+from repro.query import (
+    chain_query,
+    simple_join_query,
+    star_query,
+    triangle_query,
+)
+
+
+class TestPrimalShareLP:
+    def test_equal_triangle_shares(self):
+        """Equal sizes on C3: e_i = 1/3 each, lambda = mu - 2/3."""
+        q = triangle_query()
+        m = 2.0**18
+        bits = {"S1": m, "S2": m, "S3": m}
+        p = 64
+        solution = optimal_share_exponents(q, bits, p)
+        for var in q.variables:
+            assert solution.exponents[var] == Fraction(1, 3)
+        # load = M / p^(2/3)
+        assert math.isclose(
+            solution.load_bits, m / p ** (2 / 3), rel_tol=1e-6
+        )
+
+    def test_join_all_budget_on_z(self):
+        """Equal sizes on the join: hash join on z is optimal."""
+        q = simple_join_query()
+        bits = {"S1": 2.0**16, "S2": 2.0**16}
+        solution = optimal_share_exponents(q, bits, 64)
+        assert solution.exponents["z"] == 1
+        assert solution.exponents["x"] == 0
+        assert solution.exponents["y"] == 0
+
+    def test_exponents_sum_within_budget(self):
+        q = chain_query(3)
+        bits = {"S1": 2.0**15, "S2": 2.0**12, "S3": 2.0**14}
+        solution = optimal_share_exponents(q, bits, 32)
+        assert sum(solution.exponents.values()) <= 1
+
+    def test_atom_constraints_satisfied(self):
+        q = triangle_query()
+        bits = {"S1": 2.0**20, "S2": 2.0**15, "S3": 2.0**12}
+        p = 64
+        solution = optimal_share_exponents(q, bits, p)
+        for atom in q.atoms:
+            lhs = sum(solution.exponents[v] for v in atom.variable_set)
+            mu = Fraction(math.log(bits[atom.name]) / math.log(p)).limit_denominator(10**9)
+            assert lhs + solution.lam >= mu - Fraction(1, 10**6)
+
+    def test_rejects_empty_relation(self):
+        q = simple_join_query()
+        with pytest.raises(ShareError):
+            optimal_share_exponents(q, {"S1": 0.0, "S2": 10.0}, 4)
+
+    def test_rejects_tiny_p(self):
+        q = simple_join_query()
+        with pytest.raises(ShareError):
+            optimal_share_exponents(q, {"S1": 10.0, "S2": 10.0}, 1)
+
+    def test_expected_atom_load(self):
+        q = simple_join_query()
+        bits = {"S1": 2.0**16, "S2": 2.0**16}
+        solution = optimal_share_exponents(q, bits, 64)
+        loads = solution.expected_atom_load(bits)
+        assert math.isclose(loads["S1"], 2.0**16 / 64, rel_tol=1e-6)
+
+
+class TestDuality:
+    @pytest.mark.parametrize("p", [4, 16, 64])
+    def test_strong_duality(self, p):
+        cases = [
+            (triangle_query(), {"S1": 2.0**20, "S2": 2.0**17, "S3": 2.0**14}),
+            (simple_join_query(), {"S1": 2.0**16, "S2": 2.0**12}),
+            (star_query(3), {"S1": 2.0**14, "S2": 2.0**13, "S3": 2.0**12}),
+        ]
+        for q, bits in cases:
+            primal = optimal_share_exponents(q, bits, p)
+            dual = dual_share_solution(q, bits, p)
+            assert abs(float(primal.lam - dual.objective)) < 1e-9
+
+    def test_induced_packing_is_feasible(self):
+        """Lemma 3.8: u_j = f_j / f is an edge packing."""
+        q = triangle_query()
+        bits = {"S1": 2.0**20, "S2": 2.0**18, "S3": 2.0**16}
+        dual = dual_share_solution(q, bits, 64)
+        packing = dual.induced_packing()
+        assert packing is not None
+        assert is_edge_packing(q, packing)
+
+
+class TestIntegerShares:
+    def test_floor_strategy_product_fits(self):
+        q = triangle_query()
+        exponents = {v: Fraction(1, 3) for v in q.variables}
+        shares = integer_shares(q, exponents, 64, strategy="floor")
+        assert shares == {"x1": 4, "x2": 4, "x3": 4}
+
+    def test_greedy_improves_on_floor(self):
+        q = simple_join_query()
+        bits = {"S1": 2.0**16, "S2": 2.0**16}
+        # Exponents put everything on z; greedy should give z all of p.
+        exponents = {"x": Fraction(0), "y": Fraction(0), "z": Fraction(1)}
+        shares = integer_shares(q, exponents, 60, strategy="greedy", bits=bits)
+        assert shares["z"] == 60
+        assert shares_product(shares) <= 60
+
+    def test_greedy_needs_bits(self):
+        q = simple_join_query()
+        with pytest.raises(ShareError):
+            integer_shares(q, {v: Fraction(0) for v in q.variables}, 8)
+
+    def test_unknown_strategy(self):
+        q = simple_join_query()
+        with pytest.raises(ShareError):
+            integer_shares(
+                q,
+                {v: Fraction(0) for v in q.variables},
+                8,
+                strategy="nope",
+                bits={"S1": 1.0, "S2": 1.0},
+            )
+
+    def test_product_never_exceeds_p(self):
+        q = triangle_query()
+        bits = {"S1": 2.0**20, "S2": 2.0**17, "S3": 2.0**13}
+        for p in (5, 7, 12, 64, 100):
+            solution = optimal_share_exponents(q, bits, p)
+            shares = integer_shares(
+                q, solution.exponents, p, strategy="greedy", bits=bits
+            )
+            assert shares_product(shares) <= p
+            assert all(s >= 1 for s in shares.values())
+
+    def test_equal_integer_shares(self):
+        q = triangle_query()
+        assert equal_integer_shares(q, 27) == {"x1": 3, "x2": 3, "x3": 3}
+        assert equal_integer_shares(q, 26) == {"x1": 2, "x2": 2, "x3": 2}

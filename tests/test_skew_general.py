@@ -1,0 +1,346 @@
+"""Unit tests for the Section 4.2 bin-combination algorithm."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import (
+    BinHyperCubeAlgorithm,
+    HashJoinAlgorithm,
+    build_cprime,
+    solve_bin_lp,
+)
+from repro.core.skew_general import _proper_supersets
+from repro.data import (
+    planted_heavy_relation,
+    single_value_relation,
+    uniform_relation,
+    zipf_relation,
+)
+from repro.mpc import HashFamily, run_one_round
+from repro.query import parse_query, simple_join_query, triangle_query
+from repro.seq import Database
+from repro.stats import BinCombination, HeavyHitterStatistics
+
+
+class TestProperSupersets:
+    def test_from_empty(self):
+        out = _proper_supersets(("x", "z"), ())
+        assert set(out) == {("x",), ("z",), ("x", "z")}
+
+    def test_from_singleton(self):
+        out = _proper_supersets(("x", "z"), ("z",))
+        assert set(out) == {("x", "z")}
+
+    def test_full_set_has_none(self):
+        assert _proper_supersets(("x", "z"), ("x", "z")) == []
+
+
+class TestBinLP:
+    def test_empty_combination_equals_share_lp(self):
+        """LP (11) at B_empty coincides with LP (5)."""
+        from repro.core import optimal_share_exponents
+
+        q = simple_join_query()
+        bits = {"S1": 2.0**16, "S2": 2.0**16}
+        lp = solve_bin_lp(q, BinCombination.empty(), Fraction(0), bits, 64)
+        share = optimal_share_exponents(q, bits, 64)
+        assert abs(float(lp.lam - share.lam)) < 1e-9
+
+    def test_beta_discount_lowers_lambda(self):
+        """A heavy-hitter bin exponent reduces the residual size constraint."""
+        q = simple_join_query()
+        bits = {"S1": 2.0**16, "S2": 2.0**16}
+        combo = BinCombination.build(
+            {"z"}, {"S1": Fraction(1, 2), "S2": Fraction(1, 2)}
+        )
+        lp_base = solve_bin_lp(q, BinCombination.empty(), Fraction(0), bits, 64)
+        lp_combo = solve_bin_lp(q, combo, Fraction(0), bits, 64)
+        assert lp_combo.lam <= lp_base.lam
+
+    def test_alpha_reduces_share_budget(self):
+        q = simple_join_query()
+        bits = {"S1": 2.0**16, "S2": 2.0**16}
+        combo = BinCombination.build({"z"}, {"S1": Fraction(0), "S2": Fraction(0)})
+        lp_alpha0 = solve_bin_lp(q, combo, Fraction(0), bits, 64)
+        lp_alpha1 = solve_bin_lp(q, combo, Fraction(1), bits, 64)
+        assert sum(lp_alpha1.exponents.values()) == 0
+        assert lp_alpha1.lam >= lp_alpha0.lam
+
+    def test_exponents_cover_remaining_variables_only(self):
+        q = simple_join_query()
+        bits = {"S1": 2.0**12, "S2": 2.0**12}
+        combo = BinCombination.build({"z"}, {"S1": Fraction(0), "S2": Fraction(1)})
+        lp = solve_bin_lp(q, combo, Fraction(0), bits, 16)
+        assert set(lp.exponents) == {"x", "y"}
+
+
+class TestCPrimeConstruction:
+    def _stats(self, db, p):
+        q = simple_join_query()
+        return q, HeavyHitterStatistics.of(q, db, p)
+
+    def test_uniform_data_only_empty_combination(self):
+        db = Database.from_relations(
+            [
+                uniform_relation("S1", 200, 4000, seed=1),
+                uniform_relation("S2", 200, 4000, seed=2),
+            ]
+        )
+        q, stats = self._stats(db, 8)
+        bits = {"S1": stats.simple.bits("S1"), "S2": stats.simple.bits("S2")}
+        combos, lps = build_cprime(q, stats, 8, bits)
+        assert BinCombination.empty() in combos
+        assert combos[BinCombination.empty()] == frozenset({()})
+        # No heavy hitters -> nothing is overweight -> only B_empty.
+        assert len(combos) == 1
+
+    def test_single_value_data_spawns_combination(self):
+        db = Database.from_relations(
+            [
+                single_value_relation("S1", 100, 400, seed=3),
+                single_value_relation("S2", 100, 400, seed=4),
+            ]
+        )
+        q, stats = self._stats(db, 8)
+        bits = {"S1": stats.simple.bits("S1"), "S2": stats.simple.bits("S2")}
+        combos, lps = build_cprime(q, stats, 8, bits)
+        assert len(combos) >= 2
+        # Some combination must own the heavy value z=0.
+        owned = {
+            assignment
+            for combo, members in combos.items()
+            if combo.variables == frozenset({"z"})
+            for assignment in members
+        }
+        assert (("z", 0),) in owned
+
+    def test_every_combo_has_an_lp(self):
+        db = Database.from_relations(
+            [
+                zipf_relation("S1", 300, 900, skew=1.3, seed=5),
+                zipf_relation("S2", 300, 900, skew=1.3, seed=6),
+            ]
+        )
+        q, stats = self._stats(db, 16)
+        bits = {"S1": stats.simple.bits("S1"), "S2": stats.simple.bits("S2")}
+        combos, lps = build_cprime(q, stats, 16, bits)
+        assert set(combos) == set(lps)
+        for lp in lps.values():
+            assert lp.lam >= 0
+            assert all(e >= 0 for e in lp.exponents.values())
+
+
+class TestAlgorithmCorrectness:
+    @pytest.mark.parametrize("p", [4, 16])
+    def test_complete_on_uniform(self, p):
+        q = simple_join_query()
+        db = Database.from_relations(
+            [
+                uniform_relation("S1", 250, 2000, seed=7),
+                uniform_relation("S2", 250, 2000, seed=8),
+            ]
+        )
+        result = run_one_round(BinHyperCubeAlgorithm(q), db, p, verify=True)
+        assert result.is_complete
+
+    @pytest.mark.parametrize("p", [4, 16])
+    def test_complete_on_zipf(self, p):
+        q = simple_join_query()
+        db = Database.from_relations(
+            [
+                zipf_relation("S1", 300, 900, skew=1.3, seed=9),
+                zipf_relation("S2", 300, 900, skew=1.3, seed=10),
+            ]
+        )
+        result = run_one_round(BinHyperCubeAlgorithm(q), db, p, verify=True)
+        assert result.is_complete
+
+    def test_complete_on_single_value(self):
+        q = simple_join_query()
+        db = Database.from_relations(
+            [
+                single_value_relation("S1", 80, 300, seed=11),
+                single_value_relation("S2", 80, 300, seed=12),
+            ]
+        )
+        result = run_one_round(BinHyperCubeAlgorithm(q), db, 8, verify=True)
+        assert result.is_complete
+
+    def test_complete_on_one_sided_skew(self):
+        q = simple_join_query()
+        db = Database.from_relations(
+            [
+                planted_heavy_relation(
+                    "S1", 240, 720, heavy_values=[0, 1, 2],
+                    heavy_fraction=0.7, seed=13,
+                ),
+                uniform_relation("S2", 240, 720, seed=14),
+            ]
+        )
+        result = run_one_round(BinHyperCubeAlgorithm(q), db, 8, verify=True)
+        assert result.is_complete
+
+    def test_complete_on_skewed_triangle(self):
+        q = triangle_query()
+        db = Database.from_relations(
+            [
+                planted_heavy_relation(
+                    "S1", 150, 200, heavy_values=[0], heavy_fraction=0.5,
+                    heavy_position=0, seed=15,
+                ),
+                uniform_relation("S2", 150, 200, seed=16),
+                uniform_relation("S3", 150, 200, seed=17),
+            ]
+        )
+        result = run_one_round(BinHyperCubeAlgorithm(q), db, 8, verify=True)
+        assert result.is_complete
+
+    def test_complete_with_pair_heavy_hitters(self):
+        """A heavy (x, u) pair in a ternary relation."""
+        q = parse_query("q(x, u, y) :- S1(x, u), S2(u, y)")
+        db = Database.from_relations(
+            [
+                planted_heavy_relation(
+                    "S1", 200, 500, heavy_values=[7], heavy_fraction=0.6,
+                    heavy_position=1, seed=18,
+                ),
+                planted_heavy_relation(
+                    "S2", 200, 500, heavy_values=[7], heavy_fraction=0.6,
+                    heavy_position=0, seed=19,
+                ),
+            ]
+        )
+        result = run_one_round(BinHyperCubeAlgorithm(q), db, 8, verify=True)
+        assert result.is_complete
+
+    def test_two_level_overweight_chain(self):
+        """The paper's second challenge: a value heavy *within* a heavy
+        hitter's residual (here the pair (x=0, u=7) inside the heavy x=0)
+        must be chased down a two-level C' chain."""
+        import random
+
+        rng = random.Random(99)
+        tuples = set()
+        # 60% of S1 sits on x=0; half of that again on (x=0, u=7).
+        while len(tuples) < 72:
+            tuples.add((0, 7, rng.randrange(500)))
+        while len(tuples) < 144:
+            tuples.add((0, rng.randrange(500), rng.randrange(500)))
+        while len(tuples) < 240:
+            tuples.add((rng.randrange(500), rng.randrange(500), rng.randrange(500)))
+        from repro.seq import Relation
+
+        q = parse_query("q(x, u, w, y) :- S1(x, u, w), S2(x, u, y)")
+        db = Database.from_relations(
+            [
+                Relation.build("S1", tuples, domain_size=500),
+                uniform_relation("S2", 240, 500, arity=3, seed=101),
+            ]
+        )
+        p = 8
+        algo = BinHyperCubeAlgorithm(q)
+        result = run_one_round(algo, db, p, verify=True)
+        assert result.is_complete
+        # The plan must contain a combination over two or more variables —
+        # the end of the overweight chain.
+        from repro.mpc import HashFamily
+
+        plan = algo.routing_plan(db, p, HashFamily(0))
+        depths = {len(c.combo.variables) for c in plan.combo_plans}
+        assert max(depths) >= 2
+
+    def test_nbc_variants_all_correct(self):
+        """Correctness must hold for any Nbc (only the load changes)."""
+        q = simple_join_query()
+        db = Database.from_relations(
+            [
+                zipf_relation("S1", 250, 750, skew=1.5, seed=20),
+                zipf_relation("S2", 250, 750, skew=1.5, seed=21),
+            ]
+        )
+        for nbc in (0.25, 1.0, 4.0, 64.0):
+            result = run_one_round(
+                BinHyperCubeAlgorithm(q, nbc=nbc), db, 8, verify=True
+            )
+            assert result.is_complete, nbc
+
+
+class TestAlgorithmLoad:
+    def test_beats_hash_join_under_heavy_skew(self):
+        q = simple_join_query()
+        db = Database.from_relations(
+            [
+                single_value_relation("S1", 120, 500, seed=22),
+                single_value_relation("S2", 120, 500, seed=23),
+            ]
+        )
+        p = 16
+        bin_result = run_one_round(
+            BinHyperCubeAlgorithm(q), db, p, compute_answers=False
+        )
+        hash_result = run_one_round(
+            HashJoinAlgorithm(q, p), db, p, compute_answers=False
+        )
+        assert bin_result.max_load_tuples < hash_result.max_load_tuples / 2
+
+    def test_load_tracks_theorem_4_6(self):
+        """Measured load <= polylog(p) * max_B p^lambda(B)."""
+        import math
+
+        q = simple_join_query()
+        db = Database.from_relations(
+            [
+                zipf_relation("S1", 400, 1200, skew=1.4, seed=24),
+                zipf_relation("S2", 400, 1200, skew=1.4, seed=25),
+            ]
+        )
+        p = 16
+        result = run_one_round(
+            BinHyperCubeAlgorithm(q), db, p, compute_answers=False
+        )
+        predicted = result.details["theoretical_load_bits"]
+        assert result.max_load_bits <= predicted * 4 * math.log(p) ** 2
+
+    def test_describe_counts(self):
+        q = simple_join_query()
+        db = Database.from_relations(
+            [
+                zipf_relation("S1", 200, 600, skew=1.4, seed=26),
+                zipf_relation("S2", 200, 600, skew=1.4, seed=27),
+            ]
+        )
+        result = run_one_round(
+            BinHyperCubeAlgorithm(q), db, 8, compute_answers=False
+        )
+        assert result.details["bin_combinations"] >= 1
+        assert result.details["assignments"] >= 1
+
+
+class TestStatisticsReuse:
+    def test_prebuilt_statistics_accepted(self):
+        q = simple_join_query()
+        db = Database.from_relations(
+            [
+                zipf_relation("S1", 150, 450, skew=1.2, seed=28),
+                zipf_relation("S2", 150, 450, skew=1.2, seed=29),
+            ]
+        )
+        stats = HeavyHitterStatistics.of(q, db, 8)
+        algo = BinHyperCubeAlgorithm(q, stats=stats)
+        result = run_one_round(algo, db, 8, verify=True)
+        assert result.is_complete
+
+    def test_mismatched_p_rebuilds_statistics(self):
+        q = simple_join_query()
+        db = Database.from_relations(
+            [
+                uniform_relation("S1", 100, 400, seed=30),
+                uniform_relation("S2", 100, 400, seed=31),
+            ]
+        )
+        stats = HeavyHitterStatistics.of(q, db, 4)
+        algo = BinHyperCubeAlgorithm(q, stats=stats)
+        # Run with a different p: the algorithm must rebuild stats for p=16.
+        result = run_one_round(algo, db, 16, verify=True)
+        assert result.is_complete

@@ -1,0 +1,184 @@
+"""Unit tests for the Section 4.1 skew-aware join."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    HashJoinAlgorithm,
+    SkewAwareJoin,
+    skew_join_load_bound,
+)
+from repro.data import (
+    planted_heavy_relation,
+    single_value_relation,
+    uniform_relation,
+    zipf_relation,
+)
+from repro.mpc import run_one_round
+from repro.query import QueryError, parse_query, simple_join_query, triangle_query
+from repro.seq import Database
+from repro.stats import HeavyHitterStatistics
+
+
+def _join_db(kind: str, m: int = 400, seed: int = 0) -> Database:
+    if kind == "uniform":
+        return Database.from_relations(
+            [
+                uniform_relation("S1", m, 4 * m, seed=seed + 1),
+                uniform_relation("S2", m, 4 * m, seed=seed + 2),
+            ]
+        )
+    if kind == "zipf":
+        return Database.from_relations(
+            [
+                zipf_relation("S1", m, 3 * m, skew=1.2, seed=seed + 1),
+                zipf_relation("S2", m, 3 * m, skew=1.2, seed=seed + 2),
+            ]
+        )
+    if kind == "single":
+        return Database.from_relations(
+            [
+                single_value_relation("S1", min(m, 150), 4 * m, seed=seed + 1),
+                single_value_relation("S2", min(m, 150), 4 * m, seed=seed + 2),
+            ]
+        )
+    if kind == "one-sided":
+        return Database.from_relations(
+            [
+                planted_heavy_relation(
+                    "S1", m, 4 * m, heavy_values=[0, 1], heavy_fraction=0.6,
+                    seed=seed + 1,
+                ),
+                uniform_relation("S2", m, 4 * m, seed=seed + 2),
+            ]
+        )
+    raise ValueError(kind)
+
+
+class TestValidation:
+    def test_rejects_triangle(self):
+        with pytest.raises(QueryError):
+            SkewAwareJoin(triangle_query())
+
+    def test_rejects_cartesian_product(self):
+        q = parse_query("q(x, y) :- S1(x), S2(y)")
+        with pytest.raises(QueryError):
+            SkewAwareJoin(q)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("kind", ["uniform", "zipf", "single", "one-sided"])
+    @pytest.mark.parametrize("p", [4, 16])
+    def test_complete_on_all_skew_profiles(self, kind, p):
+        q = simple_join_query()
+        db = _join_db(kind)
+        result = run_one_round(SkewAwareJoin(q), db, p, verify=True)
+        assert result.is_complete, (kind, p)
+
+    def test_complete_across_seeds(self):
+        q = simple_join_query()
+        db = _join_db("zipf", seed=100)
+        for seed in range(4):
+            result = run_one_round(SkewAwareJoin(q), db, 8, seed=seed, verify=True)
+            assert result.is_complete
+
+    def test_multi_variable_join_keys(self):
+        """Two shared variables: heavy hitters are pairs."""
+        q = parse_query("q(x, y, u, v) :- S1(x, u, v), S2(y, u, v)")
+        db = Database.from_relations(
+            [
+                planted_heavy_relation(
+                    "S1", 200, 300, heavy_values=[3], heavy_fraction=0.5,
+                    heavy_position=1, arity=3, seed=5,
+                ),
+                uniform_relation("S2", 200, 300, arity=3, seed=6),
+            ]
+        )
+        result = run_one_round(SkewAwareJoin(q), db, 8, verify=True)
+        assert result.is_complete
+
+
+class TestLoadBehaviour:
+    def test_beats_hash_join_under_skew(self):
+        q = simple_join_query()
+        db = _join_db("single")
+        p = 16
+        skew_result = run_one_round(SkewAwareJoin(q), db, p, compute_answers=False)
+        hash_result = run_one_round(
+            HashJoinAlgorithm(q, p), db, p, compute_answers=False
+        )
+        assert skew_result.max_load_tuples < hash_result.max_load_tuples / 2
+
+    def test_matches_hash_join_on_uniform(self):
+        """No heavy hitters: the plan degenerates to the plain hash join."""
+        q = simple_join_query()
+        db = _join_db("uniform")
+        p = 16
+        skew_result = run_one_round(SkewAwareJoin(q), db, p, compute_answers=False)
+        hash_result = run_one_round(
+            HashJoinAlgorithm(q, p), db, p, compute_answers=False
+        )
+        assert skew_result.details["h12"] == 0
+        assert skew_result.details["h1_h2"] == 0
+        # Same routing family: loads in the same ballpark.
+        assert (
+            skew_result.max_load_tuples <= 2 * hash_result.max_load_tuples
+        )
+
+    def test_load_tracks_formula_10(self):
+        """Measured load within O(log p) of max(m1/p, m2/p, L12...)."""
+        q = simple_join_query()
+        db = _join_db("single")
+        p = 16
+        stats = HeavyHitterStatistics.of(q, db, p)
+        bound = skew_join_load_bound(stats, q)["bound"]
+        result = run_one_round(SkewAwareJoin(q), db, p, compute_answers=False)
+        assert result.max_load_bits <= bound * 6 * math.log(p)
+        assert result.max_load_bits >= bound / 6
+
+    def test_overcommit_stays_constant_factor(self):
+        """The paper's Theta(p) total server allocation."""
+        q = simple_join_query()
+        db = _join_db("zipf")
+        result = run_one_round(SkewAwareJoin(q), db, 16, compute_answers=False)
+        assert result.details["overcommit"] <= 4.0
+
+
+class TestLoadBoundFormula:
+    def test_components_present(self):
+        q = simple_join_query()
+        db = _join_db("single")
+        stats = HeavyHitterStatistics.of(q, db, 16)
+        components = skew_join_load_bound(stats, q)
+        assert set(components) == {
+            "m1_over_p",
+            "m2_over_p",
+            "L1",
+            "L2",
+            "L12",
+            "bound",
+        }
+        assert components["bound"] == max(
+            v for k, v in components.items() if k != "bound"
+        )
+
+    def test_l12_dominates_for_double_skew(self):
+        q = simple_join_query()
+        db = _join_db("single")
+        stats = HeavyHitterStatistics.of(q, db, 16)
+        components = skew_join_load_bound(stats, q, in_bits=False)
+        m = db.relation("S1").cardinality
+        # All tuples on one value: L12 = sqrt(m^2/p) = m/sqrt(p) > m/p.
+        assert math.isclose(components["L12"], m / 4.0, rel_tol=1e-9)
+        assert components["bound"] == components["L12"]
+
+    def test_uniform_case_reduces_to_m_over_p(self):
+        q = simple_join_query()
+        db = _join_db("uniform")
+        stats = HeavyHitterStatistics.of(q, db, 16)
+        components = skew_join_load_bound(stats, q, in_bits=False)
+        assert components["L12"] == 0.0
+        assert components["bound"] == max(
+            components["m1_over_p"], components["m2_over_p"]
+        )
