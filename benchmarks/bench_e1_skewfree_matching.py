@@ -47,14 +47,14 @@ CASES = [
 
 
 @pytest.mark.parametrize("label,query,cardinalities,p", CASES)
-def test_hc_matches_lower_bound(benchmark, label, query, cardinalities, p):
+def test_hc_matches_lower_bound(benchmark, engine, label, query, cardinalities, p):
     domain = 4 * max(cardinalities.values())
     db = _matching_db(query, cardinalities, domain)
     stats = SimpleStatistics.of(db)
     algo = HyperCubeAlgorithm.with_optimal_shares(query, stats, p)
 
     result = benchmark(
-        lambda: run_one_round(algo, db, p, compute_answers=False)
+        lambda: run_one_round(algo, db, p, compute_answers=False, engine=engine)
     )
     bound = lower_bound(query, stats.bits_vector(query), p)
     ratio = result.max_load_bits / bound.bits
@@ -75,7 +75,7 @@ def test_hc_matches_lower_bound(benchmark, label, query, cardinalities, p):
 
 
 @pytest.mark.parametrize("strategy", ["floor", "greedy"])
-def test_share_rounding_ablation(benchmark, strategy):
+def test_share_rounding_ablation(benchmark, engine, strategy):
     """Ablation: greedy rounding never loses to plain floors."""
     query = triangle_query()
     cardinalities = {"S1": 8192, "S2": 4096, "S3": 1024}
@@ -90,7 +90,7 @@ def test_share_rounding_ablation(benchmark, strategy):
                                strategy=strategy, bits=bits)
     )
     algo = HyperCubeAlgorithm(query, shares)
-    result = run_one_round(algo, db, p, compute_answers=False)
+    result = run_one_round(algo, db, p, compute_answers=False, engine=engine)
     record(
         benchmark,
         "E1-ablation",
@@ -101,7 +101,7 @@ def test_share_rounding_ablation(benchmark, strategy):
     )
 
 
-def test_load_scaling_exponent(benchmark):
+def test_load_scaling_exponent(benchmark, engine):
     """The space-exponent claim: for the equal-size triangle the load scales
     as ``M / p^(1/tau*) = M / p^(2/3)``; the fitted log-log slope across a
     sweep of p must sit near -2/3."""
@@ -117,7 +117,8 @@ def test_load_scaling_exponent(benchmark):
         out = []
         for p in ps:
             algo = HyperCubeAlgorithm.with_optimal_shares(query, stats, p)
-            result = run_one_round(algo, db, p, compute_answers=False)
+            result = run_one_round(algo, db, p, compute_answers=False,
+                                   engine=engine)
             out.append(result.max_load_bits)
         return out
 
@@ -164,7 +165,7 @@ def test_afrati_ullman_ablation(benchmark):
     assert float(au.lam) >= float(lp.lam) - 1e-6
 
 
-def test_uniform_data_matches_matching_data(benchmark):
+def test_uniform_data_matches_matching_data(benchmark, engine):
     """Skew-free uniform data behaves like matchings (Lemma 3.1(2) vs (3))."""
     query = simple_join_query()
     p = 64
@@ -177,7 +178,7 @@ def test_uniform_data_matches_matching_data(benchmark):
     stats = SimpleStatistics.of(db)
     algo = HyperCubeAlgorithm.with_optimal_shares(query, stats, p)
     result = benchmark(
-        lambda: run_one_round(algo, db, p, compute_answers=False)
+        lambda: run_one_round(algo, db, p, compute_answers=False, engine=engine)
     )
     bound = lower_bound(query, stats.bits_vector(query), p)
     record(

@@ -5,11 +5,41 @@ The timed body is the interesting computation (routing a round, solving the
 LPs); the scientific payload — measured load vs. the paper's closed-form
 bound — lands in ``benchmark.extra_info`` and is printed as a table row so
 ``pytest benchmarks/ --benchmark-only`` output doubles as the experiment log.
+
+The execution engine simulating the rounds is selectable::
+
+    pytest benchmarks/bench_e1_skewfree_matching.py --engine batched
+
+``--engine reference`` reproduces the seed's tuple-at-a-time numbers (the
+loads are identical by the engine-parity contract; only the wall-clock
+changes).  Benchmarks opt in by taking the ``engine`` fixture and passing
+it to ``run_one_round``.
 """
 
 from __future__ import annotations
 
 from typing import Any
+
+import pytest
+
+from repro.mpc import available_engines
+
+
+def pytest_addoption(parser: Any) -> None:
+    parser.addoption(
+        "--engine",
+        action="store",
+        default="batched",
+        choices=available_engines(),
+        help="execution engine for the simulated rounds "
+             "(answers and loads are engine-independent)",
+    )
+
+
+@pytest.fixture
+def engine(request: Any) -> str:
+    """The ``--engine`` choice, threaded into ``run_one_round`` calls."""
+    return request.config.getoption("--engine")
 
 
 def record(benchmark: Any, experiment: str, **values: Any) -> None:

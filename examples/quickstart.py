@@ -10,15 +10,18 @@ Walks the full pipeline of the paper on the running example
 3. run HyperCube for one communication round on a simulated cluster;
 4. verify completeness and compare measured load against the bound.
 
-Run:  python examples/quickstart.py
+Run:  python examples/quickstart.py [--engine {reference,batched,mp}]
 """
 
 from __future__ import annotations
+
+import argparse
 
 from repro import (
     Database,
     HyperCubeAlgorithm,
     SimpleStatistics,
+    available_engines,
     lower_bound,
     optimal_share_exponents,
     parse_query,
@@ -28,6 +31,13 @@ from repro.data import uniform_relation
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--engine", choices=available_engines(),
+                        default="batched",
+                        help="execution engine for the simulated round "
+                             "(answers and loads are engine-independent)")
+    args = parser.parse_args()
+
     # 1. The query and a skew-free database.
     query = parse_query("q(x, y, z) :- S1(x, z), S2(y, z)")
     db = Database.from_relations(
@@ -57,8 +67,10 @@ def main() -> None:
 
     # 3. One communication round on the simulated cluster.
     algorithm = HyperCubeAlgorithm.with_optimal_shares(query, stats, p)
-    print(f"\n-- HyperCube round (integer shares {algorithm.shares}) --")
-    result = run_one_round(algorithm, db, p, seed=0, verify=True)
+    print(f"\n-- HyperCube round (integer shares {algorithm.shares}, "
+          f"{args.engine} engine) --")
+    result = run_one_round(algorithm, db, p, seed=0, verify=True,
+                           engine=args.engine)
 
     # 4. Completeness and load.
     assert result.is_complete, "HyperCube must find every answer"

@@ -13,10 +13,12 @@ The script sweeps the skew parameter and races four one-round algorithms:
 It also prints formula (10)'s load bound and the residual lower bound of
 Theorem 4.7, showing the measured loads are sandwiched as the paper proves.
 
-Run:  python examples/skewed_join.py
+Run:  python examples/skewed_join.py [--engine {reference,batched,mp}]
 """
 
 from __future__ import annotations
+
+import argparse
 
 from repro import (
     BinHyperCubeAlgorithm,
@@ -24,6 +26,7 @@ from repro import (
     HashJoinAlgorithm,
     HyperCubeAlgorithm,
     SkewAwareJoin,
+    available_engines,
     residual_lower_bound,
     run_one_round,
     skew_join_load_bound,
@@ -47,8 +50,16 @@ def make_db(skew: float) -> Database:
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--engine", choices=available_engines(),
+                        default="batched",
+                        help="execution engine for the simulated rounds")
+    args = parser.parse_args()
+    engine = args.engine
+
     query = simple_join_query()
-    print(f"query: {query},  m = {M} tuples/relation,  p = {P} servers")
+    print(f"query: {query},  m = {M} tuples/relation,  p = {P} servers, "
+          f"{engine} engine")
     header = (
         f"{'skew':>5} {'hash-join':>10} {'hc-equal':>10} {'skew-join':>10} "
         f"{'bin-hc':>8} {'formula(10)':>12} {'thm4.7 LB':>10}"
@@ -67,7 +78,8 @@ def main() -> None:
         }
         loads = {}
         for name, algorithm in algorithms.items():
-            result = run_one_round(algorithm, db, P, compute_answers=False)
+            result = run_one_round(algorithm, db, P, compute_answers=False,
+                                   engine=engine)
             loads[name] = result.max_load_tuples
 
         hh_stats = HeavyHitterStatistics.of(query, db, P)
@@ -92,7 +104,7 @@ def main() -> None:
     # Verify completeness once at the heaviest skew (outputs are large).
     db = make_db(2.0)
     for algorithm in (SkewAwareJoin(query), BinHyperCubeAlgorithm(query)):
-        result = run_one_round(algorithm, db, P, verify=True)
+        result = run_one_round(algorithm, db, P, verify=True, engine=engine)
         status = "complete" if result.is_complete else "INCOMPLETE"
         print(f"verification at skew=2.0: {algorithm.name} is {status} "
               f"({result.answer_count} answers)")

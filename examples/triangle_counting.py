@@ -14,16 +14,19 @@ The script compares on a hub-heavy edge set:
 * the bin-combination algorithm of Section 4.2, which isolates the hubs;
 * Example 3.7's closed-form load table for the triangle query.
 
-Run:  python examples/triangle_counting.py
+Run:  python examples/triangle_counting.py [--engine {reference,batched,mp}]
 """
 
 from __future__ import annotations
+
+import argparse
 
 from repro import (
     BinHyperCubeAlgorithm,
     Database,
     HyperCubeAlgorithm,
     SimpleStatistics,
+    available_engines,
     lower_bound,
     run_one_round,
     vertex_loads,
@@ -50,9 +53,16 @@ def edge_db(hub_fraction: float) -> Database:
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--engine", choices=available_engines(),
+                        default="batched",
+                        help="execution engine for the simulated rounds")
+    args = parser.parse_args()
+
     query = triangle_query()
     print(f"query: {query}")
-    print(f"graph: {NODES} nodes, {EDGES} edges per relation, p = {P}\n")
+    print(f"graph: {NODES} nodes, {EDGES} edges per relation, p = {P}, "
+          f"{args.engine} engine\n")
 
     db = edge_db(hub_fraction=0.0)
     stats = SimpleStatistics.of(db)
@@ -76,7 +86,8 @@ def main() -> None:
             ),
             BinHyperCubeAlgorithm(query),
         ):
-            result = run_one_round(algorithm, db, P, verify=True)
+            result = run_one_round(algorithm, db, P, verify=True,
+                                   engine=args.engine)
             print(
                 f"{hub_fraction:>6.1f} {algorithm.name:>14} "
                 f"{result.max_load_tuples:>10} {result.answer_count:>10} "

@@ -49,7 +49,18 @@ from .core import (
     space_exponent,
     vertex_loads,
 )
-from .mpc import Cluster, ExecutionResult, HashFamily, LoadReport, run_one_round
+from .mpc import (
+    BatchedEngine,
+    Cluster,
+    ExecutionEngine,
+    ExecutionResult,
+    HashFamily,
+    LoadReport,
+    MultiprocessEngine,
+    ReferenceEngine,
+    available_engines,
+    run_one_round,
+)
 from .query import (
     Atom,
     ConjunctiveQuery,
@@ -87,10 +98,15 @@ __all__ = [
     "skew_join_load_bound",
     "space_exponent",
     "vertex_loads",
+    "BatchedEngine",
     "Cluster",
+    "ExecutionEngine",
     "ExecutionResult",
     "HashFamily",
     "LoadReport",
+    "MultiprocessEngine",
+    "ReferenceEngine",
+    "available_engines",
     "run_one_round",
     "Atom",
     "ConjunctiveQuery",

@@ -12,8 +12,9 @@ Three subcommands::
 
 ``bounds`` prints the share LP solution, the packing-vertex table and the
 optimal load; ``race`` generates a workload and runs every applicable
-one-round algorithm with verification; ``packings`` prints ``pk(q)``,
-``tau*`` and the cover numbers.
+one-round algorithm with verification (``--engine`` picks the execution
+engine: ``reference``, ``batched`` or ``mp``; see :mod:`repro.mpc.engine`);
+``packings`` prints ``pk(q)``, ``tau*`` and the cover numbers.
 """
 
 from __future__ import annotations
@@ -37,7 +38,7 @@ from .core import (
     vertex_loads,
 )
 from .data import single_value_relation, uniform_relation, zipf_relation
-from .mpc import run_one_round
+from .mpc import available_engines, run_one_round
 from .query import ConjunctiveQuery, QueryError, parse_query
 from .seq import Database
 from .stats import SimpleStatistics
@@ -139,13 +140,14 @@ def cmd_race(args: argparse.Namespace) -> int:
     bound = lower_bound(query, stats.bits_vector(query), args.p)
     print(f"query: {query}")
     print(f"workload: {args.workload} (m={args.m}, skew={args.skew}), "
-          f"p={args.p}")
+          f"p={args.p}, engine={args.engine}")
     print(f"Theorem 3.6 skew-free optimum: {bound.bits:,.0f} bits\n")
     print(f"{'algorithm':>18} {'max load bits':>14} {'tuples':>7} "
           f"{'repl.':>6} {'complete':>9}")
     for algorithm in algorithms:
         result = run_one_round(
-            algorithm, db, args.p, seed=args.seed, verify=args.verify
+            algorithm, db, args.p, seed=args.seed, verify=args.verify,
+            engine=args.engine,
         )
         complete = "-" if result.is_complete is None else str(result.is_complete)
         print(
@@ -185,6 +187,12 @@ def build_parser() -> argparse.ArgumentParser:
     race.add_argument("--seed", type=int, default=0)
     race.add_argument("--verify", action="store_true",
                       help="also run the sequential join and check completeness")
+    race.add_argument("--engine", choices=available_engines(),
+                      default="batched",
+                      help="execution engine simulating the round: reference "
+                           "(tuple-at-a-time oracle), batched (vectorized, "
+                           "default), mp (multiprocessing shards); all return "
+                           "identical answers and loads")
     race.set_defaults(func=cmd_race)
     return parser
 

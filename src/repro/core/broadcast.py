@@ -9,7 +9,7 @@ query, and broadcasts the small relations across the reduced grid.
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping
+from typing import Iterable, Mapping, Sequence
 
 from ..mpc.execution import OneRoundAlgorithm, RoutingPlan
 from ..mpc.hashing import HashFamily
@@ -58,6 +58,23 @@ class _BroadcastPlan(RoutingPlan):
         if relation_name in self.dropped:
             return range(self.grid_size)
         return self.inner.destinations(relation_name, tup)
+
+    def destinations_batch(
+        self, relation_name: str, tuples: Sequence[Tuple]
+    ) -> list[tuple[int, ...]]:
+        """Broadcast atoms share one grid-wide destination tuple; the rest
+        delegate to the inner HyperCube batch path."""
+        if relation_name in self.dropped:
+            everywhere = tuple(range(self.grid_size))
+            return [everywhere] * len(tuples)
+        return self.inner.destinations_batch(relation_name, tuples)
+
+    def destination_counts(
+        self, relation_name: str, tuples: Sequence[Tuple]
+    ) -> Mapping[int, int]:
+        if relation_name in self.dropped:
+            return dict.fromkeys(range(self.grid_size), len(tuples))
+        return self.inner.destination_counts(relation_name, tuples)
 
     def describe(self) -> Mapping[str, object]:
         description = dict(self.inner.describe())

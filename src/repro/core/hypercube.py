@@ -17,10 +17,16 @@ always *correct*; the choice of shares only affects the load:
 from __future__ import annotations
 
 import math
+from collections import Counter
 from itertools import product
-from typing import Iterable, Mapping
+from typing import Iterable, Mapping, Sequence
 
-from ..mpc.execution import OneRoundAlgorithm, RoutingPlan
+from ..mpc.execution import (
+    OneRoundAlgorithm,
+    RoutingPlan,
+    expand_offsets,
+    fold_offset_counts,
+)
 from ..mpc.hashing import HashFamily
 from ..query.atoms import ConjunctiveQuery
 from ..seq.relation import Database, Tuple
@@ -77,6 +83,23 @@ class HyperCubePlan(RoutingPlan):
             ]
             self._recipes[atom.name] = (fixed, free)
 
+        # Batch-path tables: the replication offsets of each atom's free
+        # dimensions, enumerated once (the scalar path re-derives them per
+        # tuple via itertools.product).
+        self._free_offsets: dict[str, tuple[int, ...]] = {}
+        for atom in query.atoms:
+            _fixed, free = self._recipes[atom.name]
+            if free:
+                self._free_offsets[atom.name] = tuple(
+                    sum(
+                        stride * coord
+                        for (stride, _), coord in zip(free, coords)
+                    )
+                    for coords in product(*(range(share) for _, share in free))
+                )
+            else:
+                self._free_offsets[atom.name] = (0,)
+
     def destinations(self, relation_name: str, tup: Tuple) -> Iterable[int]:
         fixed, free = self._recipes[relation_name]
         base = 0
@@ -93,6 +116,68 @@ class HyperCubePlan(RoutingPlan):
             ))
             for coords in product(*(range(share) for _, share in free))
         )
+
+    def destinations_batch(
+        self, relation_name: str, tuples: Sequence[Tuple]
+    ) -> list[tuple[int, ...]]:
+        """Vectorized routing: columnar bucket tables + offset tables.
+
+        Instead of routing tuple by tuple, each fixed dimension is resolved
+        for the whole batch at once: extract the column, hash its *distinct*
+        values through :meth:`HashFamily.bucket_table`, map the column
+        through the table, and fold the strided coordinates into per-tuple
+        grid bases with C-level comprehensions.  Replication across the free
+        dimensions reuses the offsets enumerated at plan construction.
+        """
+        offsets = self._free_offsets[relation_name]
+        bases = self._grid_bases(relation_name, tuples)
+        if bases is None:
+            everywhere = tuple(offsets)
+            return [everywhere] * len(tuples)
+        return expand_offsets(bases, offsets)
+
+    def destination_counts(
+        self, relation_name: str, tuples: Sequence[Tuple]
+    ) -> Mapping[int, int]:
+        """Count receives per server without per-tuple destination lists.
+
+        There are at most ``prod_{i in S_j} p_i <= p`` distinct grid bases,
+        so counting bases first (C-speed) and folding the replication
+        offsets afterwards turns the accounting into ``O(m + p^2)`` instead
+        of ``O(m * replication)`` Python-level work.
+        """
+        offsets = self._free_offsets[relation_name]
+        bases = self._grid_bases(relation_name, tuples)
+        if bases is None:
+            return dict.fromkeys(offsets, len(tuples))
+        return fold_offset_counts(Counter(bases), offsets)
+
+    def _grid_bases(
+        self, relation_name: str, tuples: Sequence[Tuple]
+    ) -> list[int] | None:
+        """Columnar fixed-dimension resolution: one grid base per tuple.
+
+        Returns None for an atom with no fixed dimensions (every tuple sits
+        at base 0 and replicates across all offsets).
+        """
+        fixed, _free = self._recipes[relation_name]
+        if not fixed:
+            return None
+        bases: list[int] | None = None
+        for var, position, stride in fixed:
+            column = [tup[position] for tup in tuples]
+            table = self.hashes.bucket_table(
+                f"{self.salt_prefix}:{var}", column, self.shares[var]
+            )
+            if stride != 1:
+                contribution = [stride * table[value] for value in column]
+            else:
+                contribution = [table[value] for value in column]
+            if bases is None:
+                bases = contribution
+            else:
+                bases = [b + c for b, c in zip(bases, contribution)]
+        return bases
 
     def describe(self) -> Mapping[str, object]:
         return {

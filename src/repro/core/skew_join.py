@@ -166,6 +166,63 @@ class SkewAwareJoinPlan(RoutingPlan):
             mixed = (mixed * 1_000_003 + value + 1) & 0x7FFFFFFFFFFF
         return (self.hashes.bucket("skewjoin:light", mixed, self.p),)
 
+    def destinations_batch(
+        self, relation_name: str, tuples: Sequence[Tuple]
+    ) -> list[tuple[int, ...]]:
+        """Vectorized routing: memoize per join value, skip unused hashes.
+
+        Heavy hitters are few, so almost every tuple takes the light path;
+        its destination depends only on the tuple's join value, which a
+        local memo collapses to one hash per distinct value.  Grid tuples
+        compute only the private hash their side actually uses (the scalar
+        path computes both row and column).
+        """
+        join_positions = self._join_positions[relation_name]
+        grid_blocks = self.grid_blocks
+        partition_blocks = self.partition_blocks
+        is_first = relation_name == self.first.name
+        private_hash = self._private_hash
+        light_memo: dict[Tuple, tuple[int, ...]] = {}
+        out: list[tuple[int, ...]] = []
+        for tup in tuples:
+            h = tuple(tup[i] for i in join_positions)
+            if grid_blocks:
+                grid = grid_blocks.get(h)
+                if grid is not None:
+                    if is_first:
+                        row = private_hash(relation_name, tup, grid.p1)
+                        out.append(tuple(
+                            grid.servers[row * grid.p2 + c]
+                            for c in range(grid.p2)
+                        ))
+                    else:
+                        col = private_hash(relation_name, tup, grid.p2)
+                        out.append(tuple(
+                            grid.servers[r * grid.p2 + col]
+                            for r in range(grid.p1)
+                        ))
+                    continue
+            if partition_blocks:
+                block = partition_blocks.get(h)
+                if block is not None:
+                    if relation_name == block.partitioned_atom:
+                        index = private_hash(
+                            relation_name, tup, len(block.servers)
+                        )
+                        out.append((block.servers[index],))
+                    else:
+                        out.append(block.servers)
+                    continue
+            dests = light_memo.get(h)
+            if dests is None:
+                mixed = 0
+                for value in h:
+                    mixed = (mixed * 1_000_003 + value + 1) & 0x7FFFFFFFFFFF
+                dests = (self.hashes.bucket("skewjoin:light", mixed, self.p),)
+                light_memo[h] = dests
+            out.append(dests)
+        return out
+
     def describe(self) -> Mapping[str, object]:
         return {
             "join_vars": self.join_vars,

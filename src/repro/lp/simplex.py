@@ -152,6 +152,22 @@ def maximize(
             raise LPError("phase 1 simplex reported unbounded")
         if -phase1_obj[-1] != 0:
             return LPResult(status=INFEASIBLE)
+        # Drive artificials that stayed basic (at value zero, degenerately)
+        # out of the basis.  Merely barring them from *entering* in phase 2
+        # is not enough: a still-basic artificial's row keeps pivoting with
+        # the rest of the tableau and its value can become positive again,
+        # silently violating the original constraint.  Pivot each one out on
+        # any nonzero structural/slack column; an all-zero row is a redundant
+        # constraint and is dropped.
+        for r in range(len(table) - 1, -1, -1):
+            if basis[r] < n + m:
+                continue
+            col = next((j for j in range(n + m) if table[r][j] != 0), None)
+            if col is None:
+                del table[r]
+                del basis[r]
+            else:
+                _pivot(table, phase1_obj, basis, r, col)
 
     # ---------------- phase 2: the real objective ----------------
     allowed = [True] * num_cols

@@ -1,7 +1,16 @@
-"""MPC simulator: hash families, cluster, one-round execution."""
+"""MPC simulator: hash families, cluster, pluggable execution engines."""
 
 from .allocation import ServerAllocator
 from .cluster import Cluster, LoadReport, Server
+from .engine import (
+    BatchedEngine,
+    EngineError,
+    ExecutionEngine,
+    MultiprocessEngine,
+    ReferenceEngine,
+    available_engines,
+    resolve_engine,
+)
 from .execution import (
     ExecutionResult,
     OneRoundAlgorithm,
@@ -15,6 +24,13 @@ __all__ = [
     "Cluster",
     "LoadReport",
     "Server",
+    "EngineError",
+    "ExecutionEngine",
+    "ReferenceEngine",
+    "BatchedEngine",
+    "MultiprocessEngine",
+    "available_engines",
+    "resolve_engine",
     "ExecutionResult",
     "OneRoundAlgorithm",
     "RoutingPlan",

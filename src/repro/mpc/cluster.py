@@ -18,19 +18,33 @@ from ..seq.relation import Tuple
 
 @dataclass
 class Server:
-    """One worker: its received fragments and load counters."""
+    """One worker: its received fragments and load counters.
+
+    Bit loads are computed as ``count * tuple_bits`` per relation (rather
+    than accumulated tuple by tuple) so that every execution engine —
+    whatever order or batching it routes tuples in — reports bit-identical
+    per-server loads (see :mod:`repro.mpc.engine`).
+    """
 
     index: int
     fragments: dict[str, set[Tuple]] = field(default_factory=dict)
     received_tuples: int = 0
-    received_bits: float = 0.0
+    tuple_bits_by_relation: dict[str, float] = field(default_factory=dict)
 
     def receive(self, relation_name: str, tup: Tuple, tuple_bits: float) -> None:
         fragment = self.fragments.setdefault(relation_name, set())
         if tup not in fragment:
             fragment.add(tup)
             self.received_tuples += 1
-            self.received_bits += tuple_bits
+            self.tuple_bits_by_relation[relation_name] = tuple_bits
+
+    @property
+    def received_bits(self) -> float:
+        bits = 0.0
+        for name, fragment in self.fragments.items():
+            if fragment:
+                bits += len(fragment) * self.tuple_bits_by_relation[name]
+        return bits
 
 
 @dataclass(frozen=True)

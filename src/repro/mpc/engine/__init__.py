@@ -1,0 +1,35 @@
+"""Pluggable execution engines for the one-round MPC simulator.
+
+The engine subsystem separates *what* a one-round algorithm does (its
+:class:`repro.mpc.execution.RoutingPlan`) from *how* the round is simulated:
+
+``reference``
+    :class:`ReferenceEngine` — the original tuple-at-a-time simulator with
+    fully materialized server fragments.  Slowest; the parity oracle.
+``batched``
+    :class:`BatchedEngine` — routes each relation with one vectorized
+    ``destinations_batch`` call, streams load accounting without fragments
+    when answers are not requested, and interns tuples when they are.
+``mp``
+    :class:`MultiprocessEngine` — shards routing and local joins across a
+    ``multiprocessing`` pool and merges the per-shard loads.
+
+All engines are answer- and load-identical (``tests/test_engine_parity.py``);
+pick by speed/memory: ``batched`` for big single-process runs, ``mp`` when
+local joins dominate and cores are available.
+"""
+
+from .base import EngineError, ExecutionEngine, available_engines, resolve_engine
+from .batched import BatchedEngine
+from .multiprocess import MultiprocessEngine
+from .reference import ReferenceEngine
+
+__all__ = [
+    "EngineError",
+    "ExecutionEngine",
+    "available_engines",
+    "resolve_engine",
+    "ReferenceEngine",
+    "BatchedEngine",
+    "MultiprocessEngine",
+]

@@ -1,0 +1,80 @@
+"""The :class:`ExecutionEngine` interface and engine registry.
+
+An execution engine simulates one communication round: it builds the
+algorithm's routing plan, delivers every input tuple to its destination
+servers, accounts per-server loads, and (optionally) runs the local joins.
+The contract is strict: **every engine must return the same answers, the
+same per-server tuple counts, and bit-identical per-server bit loads** as
+:class:`repro.mpc.engine.ReferenceEngine` for any algorithm and database.
+``tests/test_engine_parity.py`` enforces the contract for every registered
+engine; new engines should be added to :data:`ENGINES` and that test suite.
+
+Bit-identity is achievable because all load accounting computes per-server
+bits as ``received_count * tuple_bits`` per relation, folded in the query's
+atom order — never as an order-dependent running float sum.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from ...seq.relation import Database
+from ..execution import ExecutionResult, OneRoundAlgorithm
+
+
+class EngineError(ValueError):
+    """Raised for unknown engine names or malformed engine configuration."""
+
+
+class ExecutionEngine(ABC):
+    """Simulates one MPC communication round for any one-round algorithm."""
+
+    #: Registry key and CLI spelling of the engine.
+    name: str = "abstract"
+
+    @abstractmethod
+    def run(
+        self,
+        algorithm: OneRoundAlgorithm,
+        db: Database,
+        p: int,
+        seed: int = 0,
+        compute_answers: bool = True,
+        verify: bool = False,
+    ) -> ExecutionResult:
+        """Simulate one round; see :func:`repro.mpc.run_one_round`."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def _registry() -> dict[str, type[ExecutionEngine]]:
+    from .batched import BatchedEngine
+    from .multiprocess import MultiprocessEngine
+    from .reference import ReferenceEngine
+
+    return {
+        ReferenceEngine.name: ReferenceEngine,
+        BatchedEngine.name: BatchedEngine,
+        MultiprocessEngine.name: MultiprocessEngine,
+    }
+
+
+def available_engines() -> tuple[str, ...]:
+    """The registered engine names, in registration order."""
+    return tuple(_registry())
+
+
+def resolve_engine(engine: "str | ExecutionEngine") -> ExecutionEngine:
+    """An engine instance from a registry name or a ready-made instance."""
+    if isinstance(engine, ExecutionEngine):
+        return engine
+    registry = _registry()
+    try:
+        factory = registry[engine]
+    except (KeyError, TypeError):
+        raise EngineError(
+            f"unknown execution engine {engine!r}; "
+            f"available: {', '.join(registry)}"
+        ) from None
+    return factory()

@@ -1,0 +1,221 @@
+"""The multiprocessing engine: sharded routing and local joins.
+
+The round is simulated in two parallel phases over a worker pool:
+
+1. **Routing** — every relation's tuples are split into per-worker chunks;
+   each worker runs :meth:`RoutingPlan.destinations_batch` on its chunk and
+   returns per-server received counts plus (when answers are requested) the
+   per-server fragment slices.  Counts merge by integer addition and
+   fragments by set union — exact operations, so parity with the in-process
+   engines is preserved.  Per-server bits are folded in the parent as
+   ``count * tuple_bits`` per relation in atom order, the same fold every
+   engine uses, so bit loads stay bit-identical.
+2. **Local joins** — the nonempty servers are sharded across the same pool;
+   each worker joins its servers' fragments and the answer sets are unioned.
+
+The routing plan is shipped to the workers once via the pool initializer.
+Worker processes use the ``fork`` start method when the platform offers it
+(cheapest; the plan is inherited), falling back to the default method
+otherwise.  When only one worker is configured — or the platform cannot
+spawn processes at all — the engine degrades to the in-process
+:class:`repro.mpc.engine.BatchedEngine`, which is result-identical.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Sequence
+
+from ...query.atoms import ConjunctiveQuery
+from ...seq.join import evaluate, local_join
+from ...seq.relation import Database, Tuple
+from ..cluster import LoadReport
+from ..execution import ExecutionResult, OneRoundAlgorithm, RoutingPlan
+from ..hashing import HashFamily
+from .base import ExecutionEngine
+from .batched import BatchedEngine
+
+# Per-worker state installed by the pool initializer (plan, query, domain,
+# compute_answers).  Module-level so the worker functions are picklable.
+_STATE: dict[str, object] = {}
+
+
+def _init_worker(
+    plan: RoutingPlan,
+    query: ConjunctiveQuery,
+    domain_size: int,
+    compute_answers: bool,
+) -> None:
+    _STATE["plan"] = plan
+    _STATE["query"] = query
+    _STATE["domain_size"] = domain_size
+    _STATE["compute_answers"] = compute_answers
+
+
+def _route_chunk(
+    task: tuple[str, Sequence[Tuple]]
+) -> tuple[str, dict[int, int], dict[int, list[Tuple]]]:
+    """Route one chunk of one relation: (relation, counts, fragment slices)."""
+    relation_name, tuples = task
+    plan: RoutingPlan = _STATE["plan"]  # type: ignore[assignment]
+    fragments: dict[int, list[Tuple]] = {}
+    if _STATE["compute_answers"]:
+        counts: dict[int, int] = {}
+        for tup, dests in zip(
+            tuples, plan.destinations_batch(relation_name, tuples)
+        ):
+            for server in dests:
+                counts[server] = counts.get(server, 0) + 1
+                fragments.setdefault(server, []).append(tup)
+    else:
+        counts = dict(plan.destination_counts(relation_name, tuples))
+    return relation_name, counts, fragments
+
+
+def _join_chunk(
+    server_fragments: Sequence[dict[str, set[Tuple]]]
+) -> set[Tuple]:
+    """Join the fragments of a shard of servers and union their answers."""
+    query: ConjunctiveQuery = _STATE["query"]  # type: ignore[assignment]
+    domain_size: int = _STATE["domain_size"]  # type: ignore[assignment]
+    collected: set[Tuple] = set()
+    for fragments in server_fragments:
+        collected |= local_join(query, fragments, domain_size)
+    return collected
+
+
+def _chunks(items: list, pieces: int) -> list[list]:
+    """Split ``items`` into at most ``pieces`` contiguous nonempty chunks."""
+    if not items:
+        return []
+    pieces = min(pieces, len(items))
+    size, extra = divmod(len(items), pieces)
+    out, start = [], 0
+    for i in range(pieces):
+        end = start + size + (1 if i < extra else 0)
+        out.append(items[start:end])
+        start = end
+    return out
+
+
+class MultiprocessEngine(ExecutionEngine):
+    """Shards routing and local joins across a ``multiprocessing`` pool."""
+
+    name = "mp"
+
+    def __init__(self, workers: int | None = None) -> None:
+        self.workers = workers
+
+    def _resolved_workers(self) -> int:
+        if self.workers is not None:
+            if self.workers < 1:
+                raise ValueError("worker count must be >= 1")
+            return self.workers
+        return max(2, min(4, os.cpu_count() or 1))
+
+    @staticmethod
+    def _context():
+        methods = multiprocessing.get_all_start_methods()
+        if "fork" in methods:
+            return multiprocessing.get_context("fork")
+        return multiprocessing.get_context()
+
+    def run(
+        self,
+        algorithm: OneRoundAlgorithm,
+        db: Database,
+        p: int,
+        seed: int = 0,
+        compute_answers: bool = True,
+        verify: bool = False,
+    ) -> ExecutionResult:
+        workers = self._resolved_workers()
+        if workers == 1:
+            return BatchedEngine().run(
+                algorithm, db, p,
+                seed=seed, compute_answers=compute_answers, verify=verify,
+            )
+        if p < 1:
+            raise ValueError("cluster needs at least one server")
+        query = algorithm.query
+        db.validate_against(query)
+        hashes = HashFamily(seed)
+        plan = algorithm.routing_plan(db, p, hashes)
+
+        tasks: list[tuple[str, list[Tuple]]] = []
+        input_tuples = 0
+        input_bits = 0.0
+        for atom in query.atoms:
+            relation = db.relation(atom.name)
+            input_tuples += relation.cardinality
+            input_bits += relation.bits
+            for chunk in _chunks(list(relation.tuples), workers):
+                tasks.append((atom.name, chunk))
+
+        try:
+            ctx = self._context()
+            pool = ctx.Pool(
+                processes=workers,
+                initializer=_init_worker,
+                initargs=(plan, query, db.domain_size, compute_answers),
+            )
+        except OSError:
+            # No processes available (restricted sandboxes): same results,
+            # computed in-process.  Errors *during* the parallel phases are
+            # real failures and propagate.
+            return BatchedEngine().run(
+                algorithm, db, p,
+                seed=seed, compute_answers=compute_answers, verify=verify,
+            )
+        with pool:
+            routed = pool.map(_route_chunk, tasks) if tasks else []
+
+            counts_by_relation: dict[str, dict[int, int]] = {}
+            fragments: list[dict[str, set[Tuple]]] = [{} for _ in range(p)]
+            for relation_name, counts, chunk_fragments in routed:
+                merged = counts_by_relation.setdefault(relation_name, {})
+                for server, count in counts.items():
+                    merged[server] = merged.get(server, 0) + count
+                for server, tuples in chunk_fragments.items():
+                    fragments[server].setdefault(
+                        relation_name, set()
+                    ).update(tuples)
+
+            answers: frozenset[Tuple] | None = None
+            if compute_answers:
+                occupied = [frag for frag in fragments if frag]
+                collected: set[Tuple] = set()
+                for joined in pool.map(
+                    _join_chunk, _chunks(occupied, workers)
+                ):
+                    collected |= joined
+                answers = frozenset(collected)
+
+        per_server_tuples = [0] * p
+        per_server_bits = [0.0] * p
+        for atom in query.atoms:
+            tuple_bits = db.relation(atom.name).tuple_bits
+            for server, count in sorted(
+                counts_by_relation.get(atom.name, {}).items()
+            ):
+                per_server_tuples[server] += count
+                per_server_bits[server] += count * tuple_bits
+
+        expected = evaluate(query, db) if verify else None
+        return ExecutionResult(
+            algorithm=algorithm.name,
+            query=query,
+            p=p,
+            seed=seed,
+            report=LoadReport(
+                p=p,
+                per_server_tuples=tuple(per_server_tuples),
+                per_server_bits=tuple(per_server_bits),
+                input_tuples=input_tuples,
+                input_bits=input_bits,
+            ),
+            answers=answers,
+            expected_answers=expected,
+            details=dict(plan.describe()),
+        )

@@ -1,0 +1,72 @@
+"""The reference engine: tuple-at-a-time routing through a full cluster.
+
+This is the seed simulator's ``run_one_round`` body, unchanged in behavior:
+every tuple goes through the scalar :meth:`RoutingPlan.destinations` path,
+every fragment is materialized in :class:`repro.mpc.cluster.Server` objects.
+It is the slowest engine and the parity oracle the others are tested
+against — keep it simple enough to trust.
+"""
+
+from __future__ import annotations
+
+from ...seq.join import evaluate, local_join
+from ...seq.relation import Database, Tuple
+from ..cluster import Cluster
+from ..execution import ExecutionResult, OneRoundAlgorithm
+from ..hashing import HashFamily
+from .base import ExecutionEngine
+
+
+class ReferenceEngine(ExecutionEngine):
+    """Tuple-at-a-time simulation with fully materialized fragments."""
+
+    name = "reference"
+
+    def run(
+        self,
+        algorithm: OneRoundAlgorithm,
+        db: Database,
+        p: int,
+        seed: int = 0,
+        compute_answers: bool = True,
+        verify: bool = False,
+    ) -> ExecutionResult:
+        query = algorithm.query
+        db.validate_against(query)
+        cluster = Cluster(p)
+        hashes = HashFamily(seed)
+        plan = algorithm.routing_plan(db, p, hashes)
+
+        input_tuples = 0
+        input_bits = 0.0
+        for atom in query.atoms:
+            relation = db.relation(atom.name)
+            tuple_bits = relation.tuple_bits
+            input_tuples += relation.cardinality
+            input_bits += relation.bits
+            for tup in relation.tuples:
+                cluster.send_many(
+                    plan.destinations(atom.name, tup), atom.name, tup, tuple_bits
+                )
+
+        answers: frozenset[Tuple] | None = None
+        if compute_answers:
+            collected: set[Tuple] = set()
+            for server in cluster.servers:
+                if server.fragments:
+                    collected |= local_join(
+                        query, server.fragments, db.domain_size
+                    )
+            answers = frozenset(collected)
+
+        expected = evaluate(query, db) if verify else None
+        return ExecutionResult(
+            algorithm=algorithm.name,
+            query=query,
+            p=p,
+            seed=seed,
+            report=cluster.load_report(input_tuples, input_bits),
+            answers=answers,
+            expected_answers=expected,
+            details=dict(plan.describe()),
+        )

@@ -14,19 +14,71 @@ Every locally produced tuple is a genuine answer (fragments are subsets of
 the true relations), so correctness of an algorithm means *completeness*:
 the union must equal the sequential join.  ``run_one_round(..., verify=True)``
 checks exactly that.
+
+The simulation itself is pluggable: :func:`run_one_round` delegates to an
+:class:`repro.mpc.engine.ExecutionEngine` selected by the ``engine``
+argument (``"reference"``, ``"batched"`` or ``"mp"``).  All engines are
+answer- and load-identical; they differ only in speed and memory
+(``tests/test_engine_parity.py`` enforces this).
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from collections import Counter
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
 
 from ..query.atoms import ConjunctiveQuery
-from ..seq.join import evaluate, local_join
 from ..seq.relation import Database, Tuple
-from .cluster import Cluster, LoadReport
+from .cluster import LoadReport
 from .hashing import HashFamily
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .engine import ExecutionEngine
+
+
+def fold_offset_counts(
+    base_counts: Mapping[int, int], offsets: Sequence[int]
+) -> Mapping[int, int]:
+    """Fold replication ``offsets`` into per-grid-base tuple counts.
+
+    Shared by the grid-shaped plans' ``destination_counts`` fast paths: a
+    tuple at grid base ``b`` is received by servers ``b + o`` for every
+    offset ``o``, so per-server counts are the offset-shifted sum of the
+    (at most ``p``) distinct base counts.
+    """
+    if len(offsets) == 1:
+        offset = offsets[0]
+        if offset == 0:
+            return base_counts
+        return {
+            base + offset: count for base, count in base_counts.items()
+        }
+    counts: dict[int, int] = {}
+    for base, count in base_counts.items():
+        for offset in offsets:
+            server = base + offset
+            counts[server] = counts.get(server, 0) + count
+    return counts
+
+
+def expand_offsets(
+    bases: Sequence[int], offsets: Sequence[int]
+) -> list[tuple[int, ...]]:
+    """Per-tuple destination tuples from grid bases + replication offsets.
+
+    The ``destinations_batch`` twin of :func:`fold_offset_counts`, shared by
+    the grid-shaped plans: each tuple at base ``b`` goes to ``b + o`` for
+    every offset ``o`` (duplicate-free because the offsets are distinct
+    points of a mixed-radix grid).
+    """
+    if len(offsets) == 1:
+        offset = offsets[0]
+        if offset:
+            return [(base + offset,) for base in bases]
+        return [(base,) for base in bases]
+    return [tuple(base + offset for offset in offsets) for base in bases]
 
 
 class RoutingPlan(ABC):
@@ -35,6 +87,44 @@ class RoutingPlan(ABC):
     @abstractmethod
     def destinations(self, relation_name: str, tup: Tuple) -> Iterable[int]:
         """Server indices in ``[0, p)`` that receive ``tup``."""
+
+    def destinations_batch(
+        self, relation_name: str, tuples: Sequence[Tuple]
+    ) -> list[tuple[int, ...]]:
+        """Destinations for a whole batch of tuples of one relation.
+
+        Returns one *duplicate-free* tuple of server indices per input
+        tuple, in input order.  The default implementation loops the scalar
+        :meth:`destinations` path (deduplicating defensively); plans with a
+        vectorizable structure override it with a fast path that hoists the
+        per-tuple salt formatting, bucket lookups and replication offsets
+        out of the loop — that is what :class:`repro.mpc.engine.BatchedEngine`
+        builds on.
+        """
+        out: list[tuple[int, ...]] = []
+        for tup in tuples:
+            dests = tuple(self.destinations(relation_name, tup))
+            if len(dests) > 1:
+                dests = tuple(dict.fromkeys(dests))
+            out.append(dests)
+        return out
+
+    def destination_counts(
+        self, relation_name: str, tuples: Sequence[Tuple]
+    ) -> Mapping[int, int]:
+        """Per-server received-tuple counts for a batch, answers not needed.
+
+        Load-only simulation (``compute_answers=False``) never looks at
+        *which* tuples a server received, only *how many*; plans with a grid
+        structure can produce the counts without materializing a
+        destination list per tuple (count the distinct grid bases, then
+        fold the replication offsets).  The default derives the counts from
+        :meth:`destinations_batch`.
+        """
+        counts: Counter[int] = Counter()
+        for dests in self.destinations_batch(relation_name, tuples):
+            counts.update(dests)
+        return counts
 
     def describe(self) -> Mapping[str, object]:
         """Plan metadata surfaced in the execution result (e.g. shares)."""
@@ -99,6 +189,7 @@ def run_one_round(
     seed: int = 0,
     compute_answers: bool = True,
     verify: bool = False,
+    engine: "str | ExecutionEngine" = "reference",
 ) -> ExecutionResult:
     """Simulate one communication round of ``algorithm`` on ``db``.
 
@@ -110,41 +201,20 @@ def run_one_round(
     verify:
         When True, also run the sequential join and record it for
         :attr:`ExecutionResult.is_complete`.
+    engine:
+        Which execution engine simulates the round: ``"reference"`` (the
+        tuple-at-a-time oracle), ``"batched"`` (vectorized routing, streams
+        load accounting), ``"mp"`` (multiprocessing shards), or any
+        :class:`repro.mpc.engine.ExecutionEngine` instance.  All engines
+        return identical answers and loads.
     """
-    query = algorithm.query
-    db.validate_against(query)
-    cluster = Cluster(p)
-    hashes = HashFamily(seed)
-    plan = algorithm.routing_plan(db, p, hashes)
+    from .engine import resolve_engine  # local import: engines import us
 
-    input_tuples = 0
-    input_bits = 0.0
-    for atom in query.atoms:
-        relation = db.relation(atom.name)
-        tuple_bits = relation.tuple_bits
-        input_tuples += relation.cardinality
-        input_bits += relation.bits
-        for tup in relation.tuples:
-            cluster.send_many(
-                plan.destinations(atom.name, tup), atom.name, tup, tuple_bits
-            )
-
-    answers: frozenset[Tuple] | None = None
-    if compute_answers:
-        collected: set[Tuple] = set()
-        for server in cluster.servers:
-            if server.fragments:
-                collected |= local_join(query, server.fragments, db.domain_size)
-        answers = frozenset(collected)
-
-    expected = evaluate(query, db) if verify else None
-    return ExecutionResult(
-        algorithm=algorithm.name,
-        query=query,
-        p=p,
+    return resolve_engine(engine).run(
+        algorithm,
+        db,
+        p,
         seed=seed,
-        report=cluster.load_report(input_tuples, input_bits),
-        answers=answers,
-        expected_answers=expected,
-        details=dict(plan.describe()),
+        compute_answers=compute_answers,
+        verify=verify,
     )

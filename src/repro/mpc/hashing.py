@@ -13,10 +13,23 @@ same heavy value millions of times.
 from __future__ import annotations
 
 import hashlib
+from typing import Iterable
 
 
 class HashFamily:
     """A family of independent hash functions indexed by string salts."""
+
+    # Bulk-path memo: one {value: bucket} table per (key, salt, buckets).
+    # Class-level because the digests are pure functions of those three —
+    # re-running an experiment recreates HashFamily(seed) with the same key
+    # and can reuse every table.  Bounded three ways — table count, entries
+    # per table, and total entries — with oldest-first eviction, so
+    # huge-domain load-only runs cannot pin their whole value set in a
+    # process-lifetime cache and hot tables are not all dropped at once.
+    _shared_tables: dict[tuple[bytes, str, int], dict[int, int]] = {}
+    _MAX_SHARED_TABLES = 512
+    _MAX_TABLE_ENTRIES = 1 << 20
+    _MAX_TOTAL_ENTRIES = 1 << 23
 
     def __init__(self, seed: int) -> None:
         self._seed = seed
@@ -45,6 +58,54 @@ class HashFamily:
         if buckets == 1:
             return 0
         return self.raw(salt, value) % buckets
+
+    def bucket_table(
+        self, salt: str, values: Iterable[int], buckets: int
+    ) -> dict[int, int]:
+        """``{value: bucket}`` for every *distinct* value in ``values``.
+
+        Produces exactly the digests of :meth:`bucket` (an incremental keyed
+        blake2b equals the one-shot call) but amortizes the per-call Python
+        overhead — salt encoding, keyed-hasher construction, cache probing —
+        over a whole column.  The vectorized routing paths
+        (``destinations_batch``) are built on this.
+        """
+        if buckets < 1:
+            raise ValueError("bucket count must be >= 1")
+        unique = set(values)
+        if buckets == 1:
+            return dict.fromkeys(unique, 0)
+        shared = HashFamily._shared_tables
+        table_key = (self._key, salt, buckets)
+        table = shared.get(table_key)
+        if table is None:
+            while len(shared) >= HashFamily._MAX_SHARED_TABLES:
+                del shared[next(iter(shared))]  # evict oldest
+            table = shared[table_key] = {}
+        missing = [value for value in unique if value not in table]
+        if missing:
+            prefix = salt.encode() + b"\x00"
+            keyed = hashlib.blake2b(key=self._key, digest_size=8)
+            from_bytes = int.from_bytes
+            for value in missing:
+                hasher = keyed.copy()
+                hasher.update(
+                    prefix + value.to_bytes(16, "little", signed=True)
+                )
+                table[value] = (
+                    from_bytes(hasher.digest(), "little") % buckets
+                )
+            if len(table) > HashFamily._MAX_TABLE_ENTRIES:
+                # Callers keep using the returned dict; evicting just stops
+                # the cache from retaining it beyond this run.
+                shared.pop(table_key, None)
+            else:
+                total = sum(len(t) for t in shared.values())
+                while total > HashFamily._MAX_TOTAL_ENTRIES and shared:
+                    oldest = next(iter(shared))
+                    total -= len(shared[oldest])
+                    del shared[oldest]
+        return table
 
     def subfamily(self, label: str) -> "HashFamily":
         """An independent family derived from this one (for nested plans)."""

@@ -149,3 +149,79 @@ class TestPrimeServerCounts:
         for algorithm in _algorithms(query, p):
             result = run_one_round(algorithm, db, p, verify=True)
             assert result.is_complete, (algorithm.name, p)
+
+
+ENGINES = ["reference", "batched", "mp"]
+
+
+class TestEnginesOnDegenerateInputs:
+    """Every engine must survive the same degenerate inputs the reference
+    does, with identical results."""
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_p_equals_one(self, engine):
+        query = simple_join_query()
+        db = Database.from_relations(
+            [
+                uniform_relation("S1", 40, 150, seed=13),
+                uniform_relation("S2", 40, 150, seed=14),
+            ]
+        )
+        for algorithm in _algorithms(query, 1):
+            result = run_one_round(algorithm, db, 1, verify=True,
+                                   engine=engine)
+            assert result.is_complete, (algorithm.name, engine)
+            assert result.report.replication_rate == pytest.approx(1.0)
+            assert result.report.per_server_tuples == (80,)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_empty_relation(self, engine):
+        query = simple_join_query()
+        db = Database.from_relations(
+            [
+                Relation.build("S1", [], arity=2, domain_size=100),
+                uniform_relation("S2", 50, 100, seed=1),
+            ]
+        )
+        for algorithm in _algorithms(query, 4):
+            result = run_one_round(algorithm, db, 4, verify=True,
+                                   engine=engine)
+            assert result.is_complete, (algorithm.name, engine)
+            assert result.answer_count == 0
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_every_tuple_shares_one_join_value(self, engine):
+        """The worst skew: a single z value carries both relations."""
+        from repro.data import single_value_relation
+
+        query = simple_join_query()
+        m = 40
+        db = Database.from_relations(
+            [
+                single_value_relation("S1", m, 200, seed=15),
+                single_value_relation("S2", m, 200, seed=16),
+            ]
+        )
+        for algorithm in _algorithms(query, 8):
+            result = run_one_round(algorithm, db, 8, verify=True,
+                                   engine=engine)
+            assert result.is_complete, (algorithm.name, engine)
+            assert result.answer_count == m * m
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_share_product_exceeding_p_raises(self, engine):
+        """Oversubscribed grids must raise ShareError in every engine."""
+        from repro.core import ShareError
+
+        query = simple_join_query()
+        db = Database.from_relations(
+            [
+                uniform_relation("S1", 20, 60, seed=17),
+                uniform_relation("S2", 20, 60, seed=18),
+            ]
+        )
+        algorithm = HyperCubeAlgorithm(
+            query, {"x": 4, "y": 4, "z": 4}, name="oversubscribed"
+        )
+        with pytest.raises(ShareError):
+            run_one_round(algorithm, db, 4, engine=engine)

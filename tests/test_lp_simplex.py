@@ -104,3 +104,31 @@ class TestMinimize:
     def test_infeasible_propagates(self):
         result = minimize([1], [[1], [-1]], [1, -5])
         assert result.status == INFEASIBLE
+
+
+class TestDegenerateArtificials:
+    """Regression: an artificial left (degenerately) basic after phase 1
+    must not re-inflate during phase 2 and mask a >= constraint."""
+
+    def test_degenerate_artificial_cannot_reinflate(self):
+        # maximize -x s.t. 2x <= 1 and x >= 1/2 (plus vacuous 0 <= 0 rows):
+        # the unique feasible point is x = 1/2.  The buggy solver returned
+        # x = 0 (objective 0), violating -4x <= -2.
+        result = maximize([-1], [[0], [0], [0], [2], [-4]], [0, 0, 0, 1, -2])
+        assert result.is_optimal
+        assert result.x == (Fraction(1, 2),)
+        assert result.objective == Fraction(-1, 2)
+
+    def test_redundant_negated_row_dropped(self):
+        # x >= 0 stated as -x <= 0 twice plus an equality-like pair; the
+        # duplicate rows leave all-zero artificial rows behind.
+        result = maximize([1], [[1], [1], [-1], [-1]], [2, 2, 0, 0])
+        assert result.is_optimal
+        assert result.objective == 2
+
+    def test_tight_equality_pair(self):
+        # x + y <= 3 and x + y >= 3 pin the sum; maximize x.
+        result = maximize([1, 0], [[1, 1], [-1, -1]], [3, -3])
+        assert result.is_optimal
+        assert result.objective == 3
+        assert sum(result.x) == 3

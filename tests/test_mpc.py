@@ -204,3 +204,69 @@ class TestRunOneRound:
         r1 = run_one_round(_RoundRobin(q), db, p=4, seed=1)
         r2 = run_one_round(_RoundRobin(q), db, p=4, seed=2)
         assert r1.report.per_server_tuples == r2.report.per_server_tuples
+
+
+class TestEngineDispatch:
+    def _setup(self):
+        q = parse_query("q(x, y) :- S(x, y)")
+        db = Database.from_relations([uniform_relation("S", 50, 64, seed=1)])
+        return q, db
+
+    def test_available_engines(self):
+        from repro.mpc import available_engines
+
+        assert available_engines() == ("reference", "batched", "mp")
+
+    def test_unknown_engine_rejected(self):
+        from repro.mpc import EngineError
+
+        q, db = self._setup()
+        with pytest.raises(EngineError, match="unknown execution engine"):
+            run_one_round(_RoundRobin(q), db, p=4, engine="warp-drive")
+
+    def test_resolve_engine_passthrough(self):
+        from repro.mpc import BatchedEngine, resolve_engine
+
+        instance = BatchedEngine()
+        assert resolve_engine(instance) is instance
+        assert resolve_engine("mp").name == "mp"
+
+    @pytest.mark.parametrize("engine", ["reference", "batched", "mp"])
+    def test_custom_plan_runs_on_every_engine(self, engine):
+        """Plans without a fast batch path use the scalar fallback."""
+        q, db = self._setup()
+        result = run_one_round(
+            _RoundRobin(q), db, p=4, verify=True, engine=engine
+        )
+        assert result.is_complete
+        assert result.details == {"policy": "round-robin"}
+        assert math.isclose(result.report.replication_rate, 1.0)
+
+    def test_default_destinations_batch_matches_scalar(self):
+        plan = _RoundRobinPlan(4)
+        tuples = [(1, 2), (3, 4), (0, 0)]
+        batch = plan.destinations_batch("S", tuples)
+        assert batch == [
+            tuple(plan.destinations("S", t)) for t in tuples
+        ]
+
+    def test_default_destinations_batch_deduplicates(self):
+        class Duplicating(RoutingPlan):
+            def destinations(self, relation_name, tup):
+                return (0, 1, 0, 1)
+
+        plan = Duplicating()
+        assert plan.destinations_batch("S", [(1,)]) == [(0, 1)]
+        assert dict(plan.destination_counts("S", [(1,), (2,)])) == {
+            0: 2, 1: 2,
+        }
+
+    def test_default_destination_counts_matches_batch(self):
+        plan = _RoundRobinPlan(4)
+        tuples = [(i, i + 1) for i in range(20)]
+        counts = plan.destination_counts("S", tuples)
+        expected: dict[int, int] = {}
+        for dests in plan.destinations_batch("S", tuples):
+            for server in dests:
+                expected[server] = expected.get(server, 0) + 1
+        assert dict(counts) == expected

@@ -7,6 +7,8 @@ scale; the benchmark suite regenerates them at full scale.
 import math
 from fractions import Fraction
 
+import pytest
+
 from repro.core import (
     HashJoinAlgorithm,
     HyperCubeAlgorithm,
@@ -182,6 +184,85 @@ class TestExample52:
             q, {"S1": 2.0**20, "S2": 2.0**16, "S3": 2.0**12}, 2.0**10
         )
         assert value > 0.5  # nontrivial even with very unequal sizes
+
+
+class TestGoldenLoadBounds:
+    """Golden numbers for the Theorem 3.4 / Corollary 3.2(ii) example
+    configurations.
+
+    These pin the *quantities* the paper's theorems are about —
+    ``expected_max_load_bits`` (the skew-free expectation
+    ``max_j M_j / prod_{i in S_j} p_i``) and ``worst_case_load_bits``
+    (the any-data guarantee ``max_j M_j / min_{i in S_j} p_i``) — to the
+    exact values the seed implementation produces, so an execution-layer or
+    share-rounding refactor cannot silently shift the bounds.
+    """
+
+    def _join_stats(self):
+        return SimpleStatistics.from_cardinalities(
+            simple_join_query(), {"S1": 4096, "S2": 1024},
+            domain_size=100_000,
+        )
+
+    def test_theorem_34_lp_shares_join(self):
+        """Lopsided join, p=64: the LP puts all replication on y=1."""
+        stats = self._join_stats()
+        algo = HyperCubeAlgorithm.with_optimal_shares(
+            simple_join_query(), stats, 64
+        )
+        assert algo.shares == {"x": 4, "y": 1, "z": 16}
+        assert algo.expected_max_load_bits(stats) == pytest.approx(
+            2126.033980727912, rel=1e-12
+        )
+        assert algo.worst_case_load_bits(stats) == pytest.approx(
+            34016.54369164659, rel=1e-12
+        )
+
+    def test_corollary_32ii_equal_shares_join(self):
+        """Equal shares p^(1/3)=4: worst case M_1 / 4 on any data."""
+        stats = self._join_stats()
+        algo = HyperCubeAlgorithm.with_equal_shares(simple_join_query(), 64)
+        assert algo.shares == {"x": 4, "y": 4, "z": 4}
+        assert algo.expected_max_load_bits(stats) == pytest.approx(
+            8504.135922911648, rel=1e-12
+        )
+        # M_1 = 2 * 4096 * log2(1e5) bits; min share 4.
+        assert algo.worst_case_load_bits(stats) == pytest.approx(
+            34016.54369164659, rel=1e-12
+        )
+
+    def _triangle_stats(self):
+        return SimpleStatistics.from_cardinalities(
+            triangle_query(), {"S1": 4096, "S2": 4096, "S3": 4096},
+            domain_size=16384,
+        )
+
+    def test_theorem_34_lp_shares_triangle(self):
+        """Equal-size C3, p=64: LP shares are the 4x4x4 cube, load M/16."""
+        stats = self._triangle_stats()
+        algo = HyperCubeAlgorithm.with_optimal_shares(
+            triangle_query(), stats, 64
+        )
+        assert algo.shares == {"x1": 4, "x2": 4, "x3": 4}
+        assert algo.expected_max_load_bits(stats) == pytest.approx(
+            7168.0, rel=1e-12
+        )
+        assert algo.worst_case_load_bits(stats) == pytest.approx(
+            28672.0, rel=1e-12
+        )
+
+    def test_corollary_32ii_equal_shares_triangle(self):
+        """C3 at p=27: the 3x3x3 cube guarantees M/3 = 38229.33... bits."""
+        stats = self._triangle_stats()
+        algo = HyperCubeAlgorithm.with_equal_shares(triangle_query(), 27)
+        assert algo.shares == {"x1": 3, "x2": 3, "x3": 3}
+        assert algo.expected_max_load_bits(stats) == pytest.approx(
+            12743.111111111111, rel=1e-12
+        )
+        # M = 2 * 4096 * 14 = 114688 bits; 114688 / 3.
+        assert algo.worst_case_load_bits(stats) == pytest.approx(
+            38229.333333333336, rel=1e-12
+        )
 
 
 class TestSection31SharesExample:
