@@ -12,18 +12,13 @@ from __future__ import annotations
 import pytest
 
 from conftest import record
-from repro.core import (
-    BinHyperCubeAlgorithm,
-    HashJoinAlgorithm,
-    HyperCubeAlgorithm,
-    SkewAwareJoin,
-    skew_join_load_bound,
-)
+from repro.api import get_spec
+from repro.core import HashJoinAlgorithm, SkewAwareJoin, skew_join_load_bound
 from repro.data import zipf_relation
 from repro.mpc import run_one_round
 from repro.query import simple_join_query
 from repro.seq import Database
-from repro.stats import HeavyHitterStatistics
+from repro.stats import HeavyHitterStatistics, SimpleStatistics
 
 P = 32
 M = 2000
@@ -40,12 +35,14 @@ def _db(skew: float) -> Database:
     )
 
 
-def _algorithms(query):
+def _algorithms(query, db):
+    """The four racers, instantiated through the algorithm registry."""
+    stats = SimpleStatistics.of(db)
     return {
-        "hashjoin": HashJoinAlgorithm(query, P),
-        "hc-equal": HyperCubeAlgorithm.with_equal_shares(query, P),
-        "skew-join": SkewAwareJoin(query),
-        "bin-hc": BinHyperCubeAlgorithm(query),
+        "hashjoin": get_spec("hashjoin").build(query, stats, P),
+        "hc-equal": get_spec("hypercube-equal").build(query, stats, P),
+        "skew-join": get_spec("skew-join").build(query, stats, P),
+        "bin-hc": get_spec("bin-hypercube").build(query, stats, P),
     }
 
 
@@ -53,11 +50,12 @@ def _algorithms(query):
 def test_skew_sweep(benchmark, skew):
     query = simple_join_query()
     db = _db(skew)
+    algorithms = _algorithms(query, db)
 
     def run_all():
         return {
             name: run_one_round(algo, db, P, compute_answers=False).max_load_tuples
-            for name, algo in _algorithms(query).items()
+            for name, algo in algorithms.items()
         }
 
     loads = benchmark(run_all)

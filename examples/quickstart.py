@@ -1,14 +1,16 @@
 #!/usr/bin/env python
-"""Quickstart: optimal one-round evaluation of a join in the MPC model.
+"""Quickstart: plan, run, and check an MPC join against its lower bound.
 
-Walks the full pipeline of the paper on the running example
+Walks the experiment API on the running example
 ``q(x, y, z) = S1(x, z), S2(y, z)``:
 
-1. build a database and collect cardinality statistics;
-2. compute the exact optimal share exponents (LP (5)) and the matching
-   closed-form lower bound (Theorem 3.6);
-3. run HyperCube for one communication round on a simulated cluster;
-4. verify completeness and compare measured load against the bound.
+1. build a database and extract statistics;
+2. ``plan`` — rank every registered one-round algorithm by its predicted
+   load, with the Theorem 3.6 lower bound attached;
+3. instantiate the winner and run one communication round on a simulated
+   cluster (``autoplan`` collapses steps 2-3 into one call);
+4. verify completeness and compare measured load against prediction and
+   bound.
 
 Run:  python examples/quickstart.py [--engine {reference,batched,mp}]
 """
@@ -19,12 +21,8 @@ import argparse
 
 from repro import (
     Database,
-    HyperCubeAlgorithm,
-    SimpleStatistics,
     available_engines,
-    lower_bound,
-    optimal_share_exponents,
-    parse_query,
+    plan,
     run_one_round,
 )
 from repro.data import uniform_relation
@@ -39,45 +37,38 @@ def main() -> None:
     args = parser.parse_args()
 
     # 1. The query and a skew-free database.
-    query = parse_query("q(x, y, z) :- S1(x, z), S2(y, z)")
+    query = "q(x, y, z) :- S1(x, z), S2(y, z)"
     db = Database.from_relations(
         [
             uniform_relation("S1", 4096, 100_000, seed=1),
             uniform_relation("S2", 1024, 100_000, seed=2),
         ]
     )
-    stats = SimpleStatistics.of(db)
     p = 64
 
-    print(f"query       : {query}")
     print(f"relations   : " + ", ".join(str(rel) for rel in db))
     print(f"servers     : p = {p}")
 
-    # 2. Share optimization and the matching lower bound.
-    bits = stats.bits_vector(query)
-    exponents = optimal_share_exponents(query, bits, p)
-    bound = lower_bound(query, bits, p)
-    print("\n-- Theorem 3.6: L_lower == L_upper --")
-    for var, e in exponents.exponents.items():
-        print(f"  share exponent e_{var} = {float(e):.4f} (share ~ p^{float(e):.3f})")
-    print(f"  lambda = {float(exponents.lam):.4f}")
-    print(f"  L_upper = p^lambda        = {exponents.load_bits:,.0f} bits")
-    print(f"  L_lower = max_u L(u,M,p)  = {bound.bits:,.0f} bits")
-    print(f"  maximizing packing        = { {k: str(v) for k, v in bound.packing.items()} }")
+    # 2. The planner: predicted loads + the Theorem 3.6 lower bound.
+    query_plan = plan(query, db=db, p=p)
+    print("\n-- the bound-driven planner --")
+    print(query_plan.explain())
 
-    # 3. One communication round on the simulated cluster.
-    algorithm = HyperCubeAlgorithm.with_optimal_shares(query, stats, p)
-    print(f"\n-- HyperCube round (integer shares {algorithm.shares}, "
-          f"{args.engine} engine) --")
+    # 3. One communication round with the planner's winner.
+    algorithm = query_plan.instantiate()
+    print(f"\n-- one round of {algorithm.name} ({args.engine} engine) --")
     result = run_one_round(algorithm, db, p, seed=0, verify=True,
                            engine=args.engine)
 
-    # 4. Completeness and load.
-    assert result.is_complete, "HyperCube must find every answer"
+    # 4. Completeness and load, against prediction and bound.
+    assert result.is_complete, "the planner's winner must find every answer"
+    predicted = query_plan.chosen.predicted_load_bits
+    bound = query_plan.lower_bound_bits
     print(f"  answers found   : {result.answer_count} (complete: {result.is_complete})")
     print(f"  max server load : {result.max_load_bits:,.0f} bits "
           f"({result.max_load_tuples} tuples)")
-    print(f"  load vs bound   : {result.max_load_bits / bound.bits:.2f}x")
+    print(f"  load vs predicted: {result.max_load_bits / predicted:.2f}x")
+    print(f"  load vs bound   : {result.max_load_bits / bound:.2f}x")
     print(f"  replication     : {result.report.replication_rate:.2f}x input")
     print(f"  balance         : {result.report.balance:.2f} (max/mean)")
 

@@ -22,12 +22,11 @@ from __future__ import annotations
 import argparse
 
 from repro import (
-    BinHyperCubeAlgorithm,
     Database,
-    HyperCubeAlgorithm,
     SimpleStatistics,
     available_engines,
     lower_bound,
+    plan,
     run_one_round,
     vertex_loads,
 )
@@ -80,12 +79,9 @@ def main() -> None:
           f"{'complete':>9}")
     for hub_fraction in (0.0, 0.4):
         db = edge_db(hub_fraction)
-        for algorithm in (
-            HyperCubeAlgorithm.with_optimal_shares(
-                query, SimpleStatistics.of(db), P
-            ),
-            BinHyperCubeAlgorithm(query),
-        ):
+        query_plan = plan(query, db=db, p=P)
+        for key in ("hypercube-lp", "bin-hypercube"):
+            algorithm = query_plan.instantiate(key)
             result = run_one_round(algorithm, db, P, verify=True,
                                    engine=args.engine)
             print(

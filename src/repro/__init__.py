@@ -8,25 +8,60 @@ the matching communication lower bounds — plus every substrate they need
 workload generators, balls-into-bins analysis, and the Section 5 MapReduce
 model).
 
+The public entry point is the experiment API (:mod:`repro.api`): a
+registry of one-round algorithms with declared applicability, a planner
+that ranks them by the Section 3 predicted loads, and a sweep runner that
+executes declarative grids through the pluggable execution engines.
+
 Quickstart::
 
-    from repro import (
-        parse_query, Database, SimpleStatistics,
-        HyperCubeAlgorithm, run_one_round, lower_bound,
-    )
+    from repro import Database, autoplan, plan, run_one_round
     from repro.data import uniform_relation
 
-    q = parse_query("q(x, y, z) :- S1(x, z), S2(y, z)")
+    q = "q(x, y, z) :- S1(x, z), S2(y, z)"
     db = Database.from_relations([
         uniform_relation("S1", 4096, 10_000, seed=1),
         uniform_relation("S2", 4096, 10_000, seed=2),
     ])
-    stats = SimpleStatistics.of(db)
-    algo = HyperCubeAlgorithm.with_optimal_shares(q, stats, p=64)
+    query_plan = plan(q, db=db, p=64)       # ranked predictions + bound
+    print(query_plan.explain())
+    algo = query_plan.instantiate()         # minimum-predicted-load winner
     result = run_one_round(algo, db, p=64, verify=True)
     assert result.is_complete
-    print(result.max_load_bits, lower_bound(q, stats.bits_vector(q), 64).bits)
+    print(result.max_load_bits, query_plan.lower_bound_bits)
+
+or, sweeping a grid::
+
+    from repro import Sweep
+
+    result = Sweep(q, workload="zipf", p_values=(8, 32),
+                   skews=(0.0, 1.5)).run(max_workers=4)
+    print(result.summary())
+
+Deprecation note: probing algorithm constructors for
+:class:`~repro.query.QueryError` to test applicability is deprecated;
+algorithms now *declare* applicability (``Algorithm.applicability(q)``)
+and the registry/planner consume the declarations.
 """
+
+from .api import (
+    AlgorithmSpec,
+    Experiment,
+    QueryPlan,
+    RunRecord,
+    Sweep,
+    SweepResult,
+    WorkloadSpec,
+    algorithm_keys,
+    algorithm_specs,
+    applicable_specs,
+    autoplan,
+    get_spec,
+    plan,
+    register,
+    run_cell,
+    sweep,
+)
 
 from .core import (
     BinHyperCubeAlgorithm,
@@ -79,6 +114,22 @@ from .stats import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "AlgorithmSpec",
+    "Experiment",
+    "QueryPlan",
+    "RunRecord",
+    "Sweep",
+    "SweepResult",
+    "WorkloadSpec",
+    "algorithm_keys",
+    "algorithm_specs",
+    "applicable_specs",
+    "autoplan",
+    "get_spec",
+    "plan",
+    "register",
+    "run_cell",
+    "sweep",
     "BinHyperCubeAlgorithm",
     "BroadcastHyperCube",
     "CartesianProductAlgorithm",

@@ -1,0 +1,100 @@
+"""The experiment API: registry, bound-driven planner, and sweep runner.
+
+This package is the intended public entry point for running the paper's
+algorithms as *experiments* rather than hand-assembled scripts:
+
+1. :mod:`repro.api.registry` — every one-round algorithm registered with
+   declared applicability and a predicted-load cost hook;
+2. :mod:`repro.api.planner` — :func:`plan`/:func:`autoplan` rank the
+   registered algorithms by predicted max-load (Section 3 bounds) and
+   instantiate the winner, carrying the Theorem 3.6 lower bound for
+   optimality-gap reporting;
+3. :mod:`repro.api.experiment` — :class:`Experiment`/:class:`Sweep`
+   execute declarative grids through the pluggable execution engines and
+   return schema-checked :class:`RunRecord` rows (JSON/CSV exportable).
+
+Typical use::
+
+    from repro.api import Sweep, autoplan
+
+    algo = autoplan("q(x,y,z) :- S1(x,z), S2(y,z)", db=db, p=32)
+    result = Sweep(
+        "q(x,y,z) :- S1(x,z), S2(y,z)",
+        workload="zipf", p_values=(8, 32), skews=(0.0, 1.5),
+    ).run(max_workers=4)
+    print(result.summary())
+"""
+
+from .experiment import (
+    Cell,
+    Experiment,
+    ExperimentError,
+    Sweep,
+    SweepResult,
+    WORKLOAD_KINDS,
+    WorkloadSpec,
+    run_cell,
+    sweep,
+)
+from .planner import (
+    PlanError,
+    Prediction,
+    QueryPlan,
+    autoplan,
+    plan,
+    resolve_statistics,
+)
+from .records import (
+    RUN_RECORD_FIELDS,
+    RUN_RECORD_SCHEMA,
+    RecordError,
+    RunRecord,
+    records_from_json,
+    records_to_csv,
+    records_to_json,
+    validate_record,
+)
+from .registry import (
+    AlgorithmSpec,
+    RegistryError,
+    algorithm_keys,
+    algorithm_specs,
+    applicable_specs,
+    get_spec,
+    register,
+    unregister,
+)
+
+__all__ = [
+    "Cell",
+    "Experiment",
+    "ExperimentError",
+    "Sweep",
+    "SweepResult",
+    "WORKLOAD_KINDS",
+    "WorkloadSpec",
+    "run_cell",
+    "sweep",
+    "PlanError",
+    "Prediction",
+    "QueryPlan",
+    "autoplan",
+    "plan",
+    "resolve_statistics",
+    "RUN_RECORD_FIELDS",
+    "RUN_RECORD_SCHEMA",
+    "RecordError",
+    "RunRecord",
+    "records_from_json",
+    "records_to_csv",
+    "records_to_json",
+    "validate_record",
+    "AlgorithmSpec",
+    "RegistryError",
+    "algorithm_keys",
+    "algorithm_specs",
+    "applicable_specs",
+    "get_spec",
+    "register",
+    "unregister",
+]

@@ -1,0 +1,476 @@
+"""Declarative experiments: one cell, a grid, or a full sweep.
+
+The runner closes the loop the paper draws between theory and execution:
+each cell generates a workload, asks the planner for predictions and the
+Theorem 3.6 lower bound, runs the algorithm through a pluggable execution
+engine, and lands everything in a structured :class:`RunRecord`.
+
+* :class:`WorkloadSpec` — a deterministic workload generator
+  (kind × m × skew × seed) for a query's relations.
+* :class:`Experiment` — one workload × one ``p`` × some algorithms.
+* :class:`Sweep` — the full grid ``p x m x skew x seed x algorithm``;
+  ``run(max_workers=N)`` farms the cells across a process pool (the same
+  fork-first strategy the multiprocessing engine uses), which is safe
+  because cells are declarative and therefore picklable.
+
+Everything here is importable-state free: a cell is a frozen dataclass of
+primitives, so sweeps can be generated on one machine and executed on
+another.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from itertools import groupby, product
+from typing import Callable, Sequence
+
+from ..data.generators import (
+    matching_relation,
+    single_value_relation,
+    uniform_relation,
+    zipf_relation,
+)
+from ..mpc.engine.multiprocess import pool_context
+from ..mpc.execution import run_one_round
+from ..query.atoms import ConjunctiveQuery
+from ..query.parser import parse_query
+from ..seq.relation import Database
+from ..stats.heavy_hitters import HeavyHitterStatistics
+from .planner import plan
+from .records import RunRecord, records_to_csv, records_to_json
+from .registry import algorithm_keys, get_spec
+
+
+class ExperimentError(ValueError):
+    """Raised for unsatisfiable experiment/sweep specifications."""
+
+
+WORKLOAD_KINDS = ("uniform", "zipf", "worst", "matching")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A deterministic workload for a query: one relation per atom.
+
+    ``kind`` selects the generator family (mirroring the CLI):
+
+    * ``uniform`` — distinct uniform tuples over a domain of ``8 m``;
+    * ``zipf`` — Zipf(``skew``) values on the last-but-one position over a
+      domain of ``4 m`` (the skewed workloads of experiment E6);
+    * ``worst`` — every tuple shares one join value (Example 3.3);
+    * ``matching`` — every value occurs at most once per attribute (the
+      skew-free instances of Lemma 3.1).
+
+    ``domain`` overrides the kind's default domain size.
+    """
+
+    kind: str = "uniform"
+    m: int = 1000
+    skew: float = 1.0
+    seed: int = 0
+    domain: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in WORKLOAD_KINDS:
+            raise ExperimentError(
+                f"unknown workload kind {self.kind!r}; "
+                f"choose from {', '.join(WORKLOAD_KINDS)}"
+            )
+        if self.m < 1:
+            raise ExperimentError("workloads need m >= 1 tuples per relation")
+        if self.domain is not None and self.domain < 1:
+            raise ExperimentError("domain must be >= 1 when given")
+
+    @property
+    def domain_size(self) -> int:
+        if self.domain is not None:
+            return self.domain
+        return 4 * self.m if self.kind == "zipf" else 8 * self.m
+
+    def build(self, query: ConjunctiveQuery) -> Database:
+        """Generate the database (deterministic in the spec + query)."""
+        domain = self.domain_size
+        relations = []
+        for i, atom in enumerate(query.atoms):
+            seed = self.seed + i
+            if self.kind == "uniform":
+                relations.append(uniform_relation(
+                    atom.name, self.m, domain, arity=atom.arity, seed=seed
+                ))
+            elif self.kind == "zipf":
+                relations.append(zipf_relation(
+                    atom.name, self.m, domain, arity=atom.arity,
+                    skew=self.skew, seed=seed,
+                ))
+            elif self.kind == "worst":
+                relations.append(single_value_relation(
+                    atom.name, self.m, domain, arity=atom.arity,
+                    fixed_position=atom.arity - 1, seed=seed,
+                ))
+            else:  # matching
+                relations.append(matching_relation(
+                    atom.name, self.m, domain, arity=atom.arity, seed=seed
+                ))
+        return Database.from_relations(relations)
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One fully-resolved sweep cell — primitives only, hence picklable."""
+
+    query: str
+    workload: str
+    m: int
+    skew: float
+    seed: int
+    p: int
+    algorithm: str            # a registry key, or "auto" for the planner pick
+    engine: str = "batched"
+    compute_answers: bool = False
+    verify: bool = False
+    domain: int | None = None  # generator domain override (kind default else)
+
+
+def _coordinates(cell: Cell) -> tuple:
+    """The part of a cell that determines its database, stats and plan."""
+    return (cell.query, cell.workload, cell.m, cell.skew, cell.seed,
+            cell.domain, cell.p)
+
+
+def _prepare(cells: Sequence[Cell]):
+    """Shared (db, plan) context for cells at the same grid coordinates.
+
+    Plans only the algorithms the cells actually mention ("auto" needs
+    the full registry), so a single-algorithm cell never pays for
+    cost-estimating the algorithms it is not running.
+    """
+    first = cells[0]
+    query = parse_query(first.query)
+    workload = WorkloadSpec(
+        kind=first.workload, m=first.m, skew=first.skew, seed=first.seed,
+        domain=first.domain,
+    )
+    db = workload.build(query)
+    stats = HeavyHitterStatistics.of(query, db, first.p)
+    keys = {cell.algorithm for cell in cells}
+    if "auto" in keys:
+        query_plan = plan(query, stats, first.p)
+    else:
+        for key in sorted(keys):
+            reason = get_spec(key).applicability(query)
+            if reason is not None:
+                raise ExperimentError(
+                    f"algorithm {key!r} is not applicable to "
+                    f"{first.query!r}: {reason}"
+                )
+        query_plan = plan(query, stats, first.p, algorithms=sorted(keys))
+    return db, query_plan
+
+
+def _execute(cell: Cell, db: Database, query_plan) -> RunRecord:
+    """Run one cell's algorithm in a prepared context; build the record."""
+    key = query_plan.chosen.key if cell.algorithm == "auto" else cell.algorithm
+    prediction = query_plan.prediction(key)
+    algorithm = query_plan.instantiate(key)
+    started = time.perf_counter()
+    result = run_one_round(
+        algorithm,
+        db,
+        cell.p,
+        seed=cell.seed,
+        compute_answers=cell.compute_answers or cell.verify,
+        verify=cell.verify,
+        engine=cell.engine,
+    )
+    wall = time.perf_counter() - started
+    return RunRecord(
+        query=cell.query,
+        workload=cell.workload,
+        m=cell.m,
+        skew=cell.skew,
+        seed=cell.seed,
+        domain=db.domain_size,
+        p=cell.p,
+        algorithm=key,
+        algorithm_name=algorithm.name,
+        engine=cell.engine,
+        predicted_load_bits=float(prediction.predicted_load_bits or 0.0),
+        lower_bound_bits=query_plan.lower_bound_bits,
+        max_load_bits=result.max_load_bits,
+        max_load_tuples=result.max_load_tuples,
+        replication_rate=result.report.replication_rate,
+        balance=result.report.balance,
+        wall_seconds=wall,
+        answer_count=result.answer_count,
+        complete=result.is_complete,
+    )
+
+
+def run_cell(cell: Cell) -> RunRecord:
+    """Execute one cell end to end: generate, plan, run, record.
+
+    Module-level (not a method) so process pools can ship it to workers.
+    """
+    db, query_plan = _prepare([cell])
+    return _execute(cell, db, query_plan)
+
+
+def _resolve_algorithms(
+    query: ConjunctiveQuery, algorithms: str | Sequence[str]
+) -> tuple[str, ...]:
+    """Algorithm keys for a cell grid.
+
+    ``"auto"`` keeps the single planner-chosen cell; ``"applicable"``
+    expands to every registered algorithm that declares itself applicable;
+    an explicit sequence is validated (requesting an inapplicable
+    algorithm is an error, not a silent skip).
+    """
+    if algorithms == "auto":
+        return ("auto",)
+    if algorithms == "applicable":
+        return tuple(
+            key for key in algorithm_keys()
+            if get_spec(key).is_applicable(query)
+        )
+    if isinstance(algorithms, str):
+        raise ExperimentError(
+            f"algorithms must be 'auto', 'applicable', or a list of keys; "
+            f"got {algorithms!r}"
+        )
+    keys = tuple(algorithms)
+    for key in keys:
+        if key == "auto":
+            continue
+        reason = get_spec(key).applicability(query)
+        if reason is not None:
+            raise ExperimentError(
+                f"algorithm {key!r} is not applicable to "
+                f"{query.name!r}: {reason}"
+            )
+    return keys
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """The records of an executed grid, with export and rollup helpers."""
+
+    records: tuple[RunRecord, ...]
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def to_json(self, indent: int = 2) -> str:
+        return records_to_json(self.records, indent=indent)
+
+    def to_csv(self) -> str:
+        return records_to_csv(self.records)
+
+    def best_per_cell(self) -> dict[tuple, RunRecord]:
+        """Minimum measured load per (workload, m, skew, seed, p) cell."""
+        best: dict[tuple, RunRecord] = {}
+        for record in self.records:
+            cell = (record.workload, record.m, record.skew, record.seed,
+                    record.p)
+            current = best.get(cell)
+            if current is None or record.max_load_bits < current.max_load_bits:
+                best[cell] = record
+        return best
+
+    def summary(self) -> str:
+        """A compact table: one row per record, sorted like the grid."""
+        header = (
+            f"{'workload':>9} {'m':>6} {'skew':>5} {'p':>4} "
+            f"{'algorithm':>20} {'predicted':>12} {'measured':>12} "
+            f"{'bound':>12} {'gap':>6}"
+        )
+        lines = [header, "-" * len(header)]
+        for r in self.records:
+            gap = r.optimality_gap
+            lines.append(
+                f"{r.workload:>9} {r.m:>6} {r.skew:>5.2f} {r.p:>4} "
+                f"{r.algorithm:>20} {r.predicted_load_bits:>12,.0f} "
+                f"{r.max_load_bits:>12,.0f} {r.lower_bound_bits:>12,.0f} "
+                f"{'     -' if gap is None else format(gap, '6.2f')}"
+            )
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One workload × one ``p`` × a set of algorithms.
+
+    The smallest unit of the experiment API::
+
+        records = Experiment(
+            "q(x, y, z) :- S1(x, z), S2(y, z)",
+            workload=WorkloadSpec("zipf", m=2000, skew=1.4),
+            p=32,
+            algorithms="applicable",
+        ).run()
+    """
+
+    query: str | ConjunctiveQuery
+    workload: WorkloadSpec = WorkloadSpec()
+    p: int = 16
+    algorithms: str | Sequence[str] = "auto"
+    engine: str = "batched"
+    compute_answers: bool = False
+    verify: bool = False
+
+    def _query(self) -> ConjunctiveQuery:
+        if isinstance(self.query, str):
+            return parse_query(self.query)
+        return self.query
+
+    def cells(self) -> list[Cell]:
+        query = self._query()
+        return [
+            Cell(
+                query=str(query),
+                workload=self.workload.kind,
+                m=self.workload.m,
+                skew=self.workload.skew,
+                seed=self.workload.seed,
+                p=self.p,
+                algorithm=key,
+                engine=self.engine,
+                compute_answers=self.compute_answers,
+                verify=self.verify,
+                domain=self.workload.domain,
+            )
+            for key in _resolve_algorithms(query, self.algorithms)
+        ]
+
+    def run(self) -> list[RunRecord]:
+        cells = self.cells()
+        if not cells:
+            return []
+        # All cells share one workload x p point: build it once.
+        db, query_plan = _prepare(cells)
+        return [_execute(cell, db, query_plan) for cell in cells]
+
+
+@dataclass(frozen=True)
+class Sweep:
+    """The full grid: ``p_values x m_values x skews x seeds x algorithms``.
+
+    ``run(max_workers=N)`` executes cells through a ``fork``-first process
+    pool; with ``max_workers=None`` (or 1) the grid runs in-process.
+    """
+
+    query: str | ConjunctiveQuery
+    workload: str = "zipf"
+    p_values: Sequence[int] = (16,)
+    m_values: Sequence[int] = (1000,)
+    skews: Sequence[float] = (1.0,)
+    seeds: Sequence[int] = (0,)
+    algorithms: str | Sequence[str] = "applicable"
+    engine: str = "batched"
+    compute_answers: bool = False
+    verify: bool = False
+    domain: int | None = None
+
+    def cells(self) -> list[Cell]:
+        query = self._query()
+        keys = _resolve_algorithms(query, self.algorithms)
+        # Validate the grid axes up front: a bad value must fail here,
+        # not as a traceback from the middle of a half-finished run.
+        for p in self.p_values:
+            if p < 1:
+                raise ExperimentError(f"p must be >= 1, got {p}")
+        for m in self.m_values:
+            WorkloadSpec(kind=self.workload, m=m, skew=self.skews[0]
+                         if self.skews else 1.0, domain=self.domain)
+        text = str(query)
+        return [
+            Cell(
+                query=text,
+                workload=self.workload,
+                m=m,
+                skew=skew,
+                seed=seed,
+                p=p,
+                algorithm=key,
+                engine=self.engine,
+                compute_answers=self.compute_answers,
+                verify=self.verify,
+                domain=self.domain,
+            )
+            for m, skew, seed, p, key in product(
+                self.m_values, self.skews, self.seeds, self.p_values, keys
+            )
+        ]
+
+    def _query(self) -> ConjunctiveQuery:
+        if isinstance(self.query, str):
+            return parse_query(self.query)
+        return self.query
+
+    def run(
+        self,
+        max_workers: int | None = None,
+        progress: Callable[[RunRecord], None] | None = None,
+        cells: Sequence[Cell] | None = None,
+    ) -> SweepResult:
+        """Execute every cell; optionally farm them across processes.
+
+        In-process, consecutive cells at the same grid coordinates share
+        one database + statistics + plan (the grid enumerates algorithms
+        innermost, so an "applicable" sweep builds each workload once,
+        not once per algorithm).  The farm uses
+        :class:`~concurrent.futures.ProcessPoolExecutor` (non-daemonic
+        workers), so cells running the ``mp`` engine can still open that
+        engine's own pool inside a worker.
+
+        ``progress`` (if given) is called with each finished record, in
+        completion order — handy for long sweeps.  ``cells`` accepts a
+        precomputed :meth:`cells` result (callers that already built the
+        list to inspect it need not rebuild it).
+        """
+        if cells is None:
+            cells = self.cells()
+        if not cells:
+            raise ExperimentError("the sweep grid is empty")
+        records: list[RunRecord] = []
+        if max_workers is None or max_workers <= 1 or len(cells) == 1:
+            for _, group_iter in groupby(cells, key=_coordinates):
+                group = list(group_iter)
+                db, query_plan = _prepare(group)
+                for cell in group:
+                    record = _execute(cell, db, query_plan)
+                    if progress is not None:
+                        progress(record)
+                    records.append(record)
+            return SweepResult(records=tuple(records))
+        slots: list[RunRecord | None] = [None] * len(cells)
+        with ProcessPoolExecutor(
+            max_workers=min(max_workers, len(cells)),
+            mp_context=pool_context(),
+        ) as executor:
+            futures = {
+                executor.submit(run_cell, cell): index
+                for index, cell in enumerate(cells)
+            }
+            # Progress fires in completion order (live feedback even when
+            # an early cell is slow); records keep grid order regardless.
+            for future in as_completed(futures):
+                record = future.result()
+                slots[futures[future]] = record
+                if progress is not None:
+                    progress(record)
+        records = [record for record in slots if record is not None]
+        return SweepResult(records=tuple(records))
+
+
+def sweep(
+    query: str | ConjunctiveQuery,
+    max_workers: int | None = None,
+    **grid,
+) -> SweepResult:
+    """One-call convenience: ``sweep(q, p_values=(8, 16), skews=(0, 1.5))``."""
+    return Sweep(query=query, **grid).run(max_workers=max_workers)

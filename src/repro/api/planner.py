@@ -1,0 +1,251 @@
+"""The bound-driven auto-planner.
+
+:func:`plan` ranks every registered algorithm on a query by its predicted
+max per-server load (the Section 3 bounds machinery, via each algorithm's
+``predicted_load_bits`` cost hook), attaches the Theorem 3.6 lower bound
+``L_lower = max_u L(u, M, p)`` for optimality-gap reporting, and exposes
+the ranking as a :class:`QueryPlan`.  :func:`autoplan` instantiates the
+winner directly.
+
+Predictions are skew-aware when heavy-hitter statistics are supplied
+(pass a database, or a ready
+:class:`~repro.stats.heavy_hitters.HeavyHitterStatistics`); with simple
+cardinality statistics they are the skew-free expectations.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from ..core.bounds import lower_bound
+from ..mpc.execution import OneRoundAlgorithm
+from ..query.atoms import ConjunctiveQuery
+from ..query.parser import parse_query
+from ..seq.relation import Database
+from ..stats.cardinality import SimpleStatistics
+from ..stats.heavy_hitters import HeavyHitterStatistics
+from .registry import Statistics, algorithm_specs, get_spec
+
+
+class PlanError(ValueError):
+    """Raised when no registered algorithm can run the query."""
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """One algorithm's planner row."""
+
+    key: str
+    summary: str
+    applicable: bool
+    reason: str | None = None
+    predicted_load_bits: float | None = None
+    lower_bound_bits: float | None = None
+
+    @property
+    def optimality_ratio(self) -> float | None:
+        """Predicted load over the Theorem 3.6 lower bound (>= ~1)."""
+        if (
+            self.predicted_load_bits is None
+            or not self.lower_bound_bits
+            or self.lower_bound_bits <= 0
+        ):
+            return None
+        return self.predicted_load_bits / self.lower_bound_bits
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """The ranked output of :func:`plan`.
+
+    ``predictions`` lists applicable algorithms first, sorted by predicted
+    load (ties broken by registration order), followed by the inapplicable
+    ones with their declared reasons.  ``chosen`` is the first entry.
+    """
+
+    query: ConjunctiveQuery
+    p: int
+    stats: Statistics
+    lower_bound_bits: float
+    predictions: tuple[Prediction, ...] = field(default_factory=tuple)
+    # Instances constructed while costing, reused by instantiate() so a
+    # plan-then-run cycle never builds an algorithm twice.
+    built: Mapping[str, OneRoundAlgorithm] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    @property
+    def chosen(self) -> Prediction:
+        for prediction in self.predictions:
+            if prediction.applicable:
+                return prediction
+        raise PlanError(
+            f"no registered algorithm is applicable to {self.query.name!r}"
+        )
+
+    @property
+    def applicable(self) -> tuple[Prediction, ...]:
+        return tuple(pr for pr in self.predictions if pr.applicable)
+
+    def prediction(self, key: str) -> Prediction:
+        for prediction in self.predictions:
+            if prediction.key == key:
+                return prediction
+        raise PlanError(f"algorithm {key!r} is not part of this plan")
+
+    def instantiate(self, key: str | None = None) -> OneRoundAlgorithm:
+        """The chosen (or an explicitly named) algorithm, ready to run.
+
+        Returns the instance the planner already constructed while
+        costing; only keys outside this plan trigger a fresh build.
+        """
+        chosen_key = self.chosen.key if key is None else key
+        cached = self.built.get(chosen_key)
+        if cached is not None:
+            return cached
+        return get_spec(chosen_key).build(self.query, self.stats, self.p)
+
+    def explain(self) -> str:
+        """A human-readable ranking table."""
+        lines = [
+            f"plan for {self.query} at p={self.p}",
+            f"Theorem 3.6 lower bound: {self.lower_bound_bits:,.0f} bits",
+        ]
+        for rank, prediction in enumerate(self.applicable, start=1):
+            marker = "*" if prediction.key == self.chosen.key else " "
+            ratio = prediction.optimality_ratio
+            gap = f"{ratio:6.2f}x" if ratio is not None else "      -"
+            lines.append(
+                f" {marker}{rank}. {prediction.key:<20} "
+                f"predicted {prediction.predicted_load_bits:>14,.0f} bits  "
+                f"vs bound {gap}"
+            )
+        for prediction in self.predictions:
+            if not prediction.applicable:
+                lines.append(
+                    f"  -  {prediction.key:<20} not applicable: "
+                    f"{prediction.reason}"
+                )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-ready summary (used by ``repro plan --json``)."""
+        return {
+            "query": str(self.query),
+            "p": self.p,
+            "lower_bound_bits": self.lower_bound_bits,
+            "chosen": self.chosen.key,
+            "predictions": [
+                {
+                    "key": pr.key,
+                    "applicable": pr.applicable,
+                    "reason": pr.reason,
+                    "predicted_load_bits": pr.predicted_load_bits,
+                    "optimality_ratio": pr.optimality_ratio,
+                }
+                for pr in self.predictions
+            ],
+        }
+
+
+def resolve_statistics(
+    query: ConjunctiveQuery,
+    stats: Statistics | None,
+    p: int,
+    db: Database | None = None,
+) -> Statistics:
+    """The richest statistics available: explicit > extracted > error."""
+    if stats is not None:
+        return stats
+    if db is not None:
+        return HeavyHitterStatistics.of(query, db, p)
+    raise PlanError("plan() needs statistics or a database to extract them from")
+
+
+def plan(
+    query: ConjunctiveQuery | str,
+    stats: Statistics | None = None,
+    p: int = 16,
+    db: Database | None = None,
+    algorithms: Iterable[str] | None = None,
+) -> QueryPlan:
+    """Rank registered algorithms on ``query`` by predicted max-load.
+
+    Parameters
+    ----------
+    query:
+        A :class:`ConjunctiveQuery` or its textual form.
+    stats:
+        :class:`SimpleStatistics` (skew-free predictions) or
+        :class:`HeavyHitterStatistics` (skew-aware).  May be omitted when
+        ``db`` is given — heavy-hitter statistics are then extracted.
+    p:
+        Number of servers.
+    algorithms:
+        Restrict the ranking to these registry keys (default: all).
+    """
+    if isinstance(query, str):
+        query = parse_query(query)
+    stats = resolve_statistics(query, stats, p, db)
+    simple: SimpleStatistics = getattr(stats, "simple", stats)
+    bits = simple.bits_vector(query)
+    if p >= 2 and any(value > 0 for value in bits.values()):
+        bound_bits = lower_bound(query, bits, p).bits
+    else:
+        bound_bits = sum(bits.values())
+
+    ranked: list[tuple[float, int, Prediction]] = []
+    inapplicable: list[Prediction] = []
+    built: dict[str, OneRoundAlgorithm] = {}
+    for order, spec in enumerate(algorithm_specs(algorithms)):
+        reason = spec.applicability(query)
+        if reason is not None:
+            inapplicable.append(Prediction(
+                key=spec.key,
+                summary=spec.summary,
+                applicable=False,
+                reason=reason,
+            ))
+            continue
+        algorithm = spec.build(query, stats, p)
+        built[spec.key] = algorithm
+        predicted = algorithm.predicted_load_bits(stats, p)
+        if not math.isfinite(predicted) or predicted < 0:
+            raise PlanError(
+                f"algorithm {spec.key!r} predicted a non-finite load "
+                f"({predicted!r}) on {query.name!r}"
+            )
+        ranked.append((predicted, order, Prediction(
+            key=spec.key,
+            summary=spec.summary,
+            applicable=True,
+            predicted_load_bits=predicted,
+            lower_bound_bits=bound_bits,
+        )))
+    ranked.sort(key=lambda item: (item[0], item[1]))
+    predictions = tuple(pr for _, _, pr in ranked) + tuple(inapplicable)
+    if not any(pr.applicable for pr in predictions):
+        raise PlanError(
+            f"no registered algorithm is applicable to {query.name!r}"
+        )
+    return QueryPlan(
+        query=query,
+        p=p,
+        stats=stats,
+        lower_bound_bits=bound_bits,
+        predictions=predictions,
+        built=built,
+    )
+
+
+def autoplan(
+    query: ConjunctiveQuery | str,
+    stats: Statistics | None = None,
+    p: int = 16,
+    db: Database | None = None,
+    algorithms: Iterable[str] | None = None,
+) -> OneRoundAlgorithm:
+    """Instantiate the minimum-predicted-load applicable algorithm."""
+    return plan(query, stats, p, db=db, algorithms=algorithms).instantiate()

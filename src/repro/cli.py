@@ -1,33 +1,44 @@
-"""Command-line interface: inspect bounds and race algorithms from a shell.
+"""Command-line interface: bounds, planning, racing and sweeping.
 
-Three subcommands::
+Five subcommands::
 
     python -m repro bounds "q(x,y,z) :- S1(x,z), S2(y,z)" \
         --cardinality S1=4096 --cardinality S2=1024 --domain 100000 -p 64
 
+    python -m repro plan "q(x,y,z) :- S1(x,z), S2(y,z)" \
+        --workload zipf --skew 1.5 -m 2000 -p 32 [--json]
+
     python -m repro race "q(x,y,z) :- S1(x,z), S2(y,z)" \
         --workload zipf --skew 1.5 -m 2000 -p 32
+
+    python -m repro sweep "q(x,y,z) :- S1(x,z), S2(y,z)" \
+        --workload zipf --skew 0.0,1.5 --p 8,32 --format csv
 
     python -m repro packings "C3(x,y,z) :- R(x,y), S(y,z), T(z,x)"
 
 ``bounds`` prints the share LP solution, the packing-vertex table and the
-optimal load; ``race`` generates a workload and runs every applicable
-one-round algorithm with verification (``--engine`` picks the execution
-engine: ``reference``, ``batched`` or ``mp``; see :mod:`repro.mpc.engine`);
-``packings`` prints ``pk(q)``, ``tau*`` and the cover numbers.
+optimal load; ``plan`` ranks every registered algorithm by predicted load
+(the :mod:`repro.api` planner) without running anything; ``race`` runs the
+applicable algorithms on a generated workload, predicted next to measured;
+``sweep`` executes a full ``p x skew x m x algorithm`` grid through the
+execution engines and emits schema-checked JSON/CSV records; ``packings``
+prints ``pk(q)``, ``tau*`` and the cover numbers.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import Sequence
+from typing import Callable, Sequence
 
+from .api import (
+    Sweep,
+    WORKLOAD_KINDS,
+    WorkloadSpec,
+    plan as build_plan,
+)
 from .core import (
-    BinHyperCubeAlgorithm,
-    HashJoinAlgorithm,
-    HyperCubeAlgorithm,
-    SkewAwareJoin,
     fractional_edge_cover_number,
     fractional_vertex_cover_number,
     lower_bound,
@@ -37,29 +48,63 @@ from .core import (
     space_exponent,
     vertex_loads,
 )
-from .data import single_value_relation, uniform_relation, zipf_relation
 from .mpc import available_engines, run_one_round
-from .query import ConjunctiveQuery, QueryError, parse_query
+from .query import ConjunctiveQuery, parse_query
 from .seq import Database
-from .stats import SimpleStatistics
+from .stats import HeavyHitterStatistics, SimpleStatistics
 
 
 def _parse_cardinalities(pairs: Sequence[str]) -> dict[str, int]:
     out: dict[str, int] = {}
     for pair in pairs:
         name, _, value = pair.partition("=")
-        if not value:
+        if not name or not value:
             raise SystemExit(f"--cardinality expects NAME=COUNT, got {pair!r}")
-        out[name] = int(value)
+        try:
+            count = int(value)
+        except ValueError:
+            raise SystemExit(
+                f"--cardinality expects an integer count, got {value!r} "
+                f"for {name!r}"
+            ) from None
+        out[name] = count
     return out
+
+
+def _parse_grid(text: str, convert: Callable, flag: str) -> tuple:
+    """A comma-separated grid axis (``--p 8,16``), cleanly rejected."""
+    values = []
+    for token in text.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        try:
+            values.append(convert(token))
+        except ValueError:
+            raise SystemExit(
+                f"{flag} expects comma-separated {convert.__name__} values, "
+                f"got {token!r}"
+            ) from None
+    if not values:
+        raise SystemExit(f"{flag} needs at least one value")
+    return tuple(values)
+
+
+def _stats_from_cardinalities(
+    query: ConjunctiveQuery, cardinalities: dict[str, int], domain: int
+) -> SimpleStatistics:
+    try:
+        return SimpleStatistics.from_cardinalities(
+            query, cardinalities, domain_size=domain
+        )
+    except ValueError as exc:  # e.g. missing relations
+        raise SystemExit(str(exc)) from None
 
 
 def cmd_bounds(args: argparse.Namespace) -> int:
     query = parse_query(args.query)
     cardinalities = _parse_cardinalities(args.cardinality)
-    stats = SimpleStatistics.from_cardinalities(
-        query, cardinalities, domain_size=args.domain
-    )
+    stats = _stats_from_cardinalities(query, cardinalities, args.domain)
     bits = stats.bits_vector(query)
     print(f"query: {query}")
     print(f"p = {args.p}, domain = {args.domain}")
@@ -96,66 +141,121 @@ def cmd_packings(args: argparse.Namespace) -> int:
 def _make_workload(
     query: ConjunctiveQuery, kind: str, m: int, skew: float, seed: int
 ) -> Database:
-    relations = []
-    for i, atom in enumerate(query.atoms):
-        if kind == "uniform":
-            relations.append(
-                uniform_relation(atom.name, m, 8 * m, arity=atom.arity,
-                                 seed=seed + i)
-            )
-        elif kind == "zipf":
-            relations.append(
-                zipf_relation(atom.name, m, 4 * m, arity=atom.arity,
-                              skew=skew, seed=seed + i)
-            )
-        elif kind == "worst":
-            relations.append(
-                single_value_relation(atom.name, m, 8 * m, arity=atom.arity,
-                                      fixed_position=atom.arity - 1,
-                                      seed=seed + i)
-            )
-        else:
-            raise SystemExit(f"unknown workload {kind!r}")
-    return Database.from_relations(relations)
+    try:
+        spec = WorkloadSpec(kind=kind, m=m, skew=skew, seed=seed)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    return spec.build(query)
+
+
+def _plan_statistics(args: argparse.Namespace, query: ConjunctiveQuery):
+    """Statistics for ``plan``: explicit cardinalities beat a workload."""
+    if args.cardinality:
+        cardinalities = _parse_cardinalities(args.cardinality)
+        return _stats_from_cardinalities(query, cardinalities, args.domain)
+    db = _make_workload(query, args.workload, args.m, args.skew, args.seed)
+    return HeavyHitterStatistics.of(query, db, args.p)
+
+
+def cmd_plan(args: argparse.Namespace) -> int:
+    query = parse_query(args.query)
+    stats = _plan_statistics(args, query)
+    query_plan = build_plan(query, stats, args.p)
+    if args.json:
+        print(json.dumps(query_plan.to_dict(), indent=2))
+        return 0
+    if args.cardinality:
+        print("statistics: declared cardinalities (skew-free predictions)")
+    else:
+        print(f"statistics: {args.workload} workload "
+              f"(m={args.m}, skew={args.skew}, seed={args.seed})")
+    print(query_plan.explain())
+    return 0
 
 
 def cmd_race(args: argparse.Namespace) -> int:
     query = parse_query(args.query)
     db = _make_workload(query, args.workload, args.m, args.skew, args.seed)
-    stats = SimpleStatistics.of(db)
-    algorithms: list = [
-        HyperCubeAlgorithm.with_optimal_shares(query, stats, args.p),
-        HyperCubeAlgorithm.with_equal_shares(query, args.p),
-        BinHyperCubeAlgorithm(query),
-    ]
-    try:
-        algorithms.append(HashJoinAlgorithm(query, args.p))
-    except QueryError:
-        pass
-    try:
-        algorithms.append(SkewAwareJoin(query))
-    except QueryError:
-        pass
+    stats = HeavyHitterStatistics.of(query, db, args.p)
+    query_plan = build_plan(query, stats, args.p)
 
-    bound = lower_bound(query, stats.bits_vector(query), args.p)
     print(f"query: {query}")
     print(f"workload: {args.workload} (m={args.m}, skew={args.skew}), "
           f"p={args.p}, engine={args.engine}")
-    print(f"Theorem 3.6 skew-free optimum: {bound.bits:,.0f} bits\n")
-    print(f"{'algorithm':>18} {'max load bits':>14} {'tuples':>7} "
-          f"{'repl.':>6} {'complete':>9}")
-    for algorithm in algorithms:
+    print(f"Theorem 3.6 skew-free optimum: "
+          f"{query_plan.lower_bound_bits:,.0f} bits\n")
+    print(f"{'algorithm':>20} {'predicted':>12} {'max load bits':>14} "
+          f"{'tuples':>7} {'repl.':>6} {'complete':>9}")
+    for prediction in query_plan.applicable:
+        algorithm = query_plan.instantiate(prediction.key)
         result = run_one_round(
             algorithm, db, args.p, seed=args.seed, verify=args.verify,
             engine=args.engine,
         )
         complete = "-" if result.is_complete is None else str(result.is_complete)
         print(
-            f"{algorithm.name:>18} {result.max_load_bits:>14,.0f} "
+            f"{algorithm.name:>20} {prediction.predicted_load_bits:>12,.0f} "
+            f"{result.max_load_bits:>14,.0f} "
             f"{result.max_load_tuples:>7} "
             f"{result.report.replication_rate:>6.2f} {complete:>9}"
         )
+    skipped = [pr for pr in query_plan.predictions if not pr.applicable]
+    if skipped:
+        print("\nnot applicable: "
+              + "; ".join(f"{pr.key} ({pr.reason})" for pr in skipped))
     return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    algorithms: str | tuple[str, ...]
+    if args.algorithms in ("applicable", "auto"):
+        algorithms = args.algorithms
+    else:
+        algorithms = _parse_grid(args.algorithms, str, "--algorithms")
+    sweep = Sweep(
+        query=args.query,
+        workload=args.workload,
+        p_values=_parse_grid(args.p, int, "--p"),
+        m_values=_parse_grid(args.m, int, "--m"),
+        skews=_parse_grid(args.skew, float, "--skew"),
+        seeds=_parse_grid(args.seeds, int, "--seeds"),
+        algorithms=algorithms,
+        engine=args.engine,
+        verify=args.verify,
+    )
+    try:
+        cells = sweep.cells()
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    print(f"sweep: {len(cells)} cells, engine={args.engine}, "
+          f"workers={args.workers}", file=sys.stderr)
+    try:
+        result = sweep.run(max_workers=args.workers, cells=cells)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    if args.format == "json":
+        payload = result.to_json()
+    elif args.format == "csv":
+        payload = result.to_csv()
+    else:
+        payload = result.summary()
+    if args.output in (None, "-"):
+        print(payload)
+    else:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+            if not payload.endswith("\n"):
+                handle.write("\n")
+        print(f"wrote {len(result)} records to {args.output}", file=sys.stderr)
+    return 0
+
+
+def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workload", choices=list(WORKLOAD_KINDS),
+                        default="uniform")
+    parser.add_argument("--skew", type=float, default=1.0)
+    parser.add_argument("-m", type=int, default=1000)
+    parser.add_argument("--seed", type=int, default=0)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -177,23 +277,66 @@ def build_parser() -> argparse.ArgumentParser:
     packings.add_argument("query")
     packings.set_defaults(func=cmd_packings)
 
-    race = sub.add_parser("race", help="run all algorithms on a workload")
+    plan_cmd = sub.add_parser(
+        "plan",
+        help="rank registered algorithms by predicted load (no execution)",
+    )
+    plan_cmd.add_argument("query")
+    plan_cmd.add_argument("--cardinality", action="append", default=[],
+                          help="NAME=COUNT (repeatable); skew-free "
+                               "predictions from declared statistics")
+    plan_cmd.add_argument("--domain", type=int, default=1_000_000)
+    _add_workload_arguments(plan_cmd)
+    plan_cmd.add_argument("-p", type=int, default=16)
+    plan_cmd.add_argument("--json", action="store_true",
+                          help="emit the plan as JSON")
+    plan_cmd.set_defaults(func=cmd_plan)
+
+    race = sub.add_parser(
+        "race", help="run every applicable algorithm on a workload"
+    )
     race.add_argument("query")
-    race.add_argument("--workload", choices=["uniform", "zipf", "worst"],
-                      default="uniform")
-    race.add_argument("--skew", type=float, default=1.0)
-    race.add_argument("-m", type=int, default=1000)
+    _add_workload_arguments(race)
     race.add_argument("-p", type=int, default=16)
-    race.add_argument("--seed", type=int, default=0)
     race.add_argument("--verify", action="store_true",
                       help="also run the sequential join and check completeness")
     race.add_argument("--engine", choices=available_engines(),
                       default="batched",
-                      help="execution engine simulating the round: reference "
-                           "(tuple-at-a-time oracle), batched (vectorized, "
-                           "default), mp (multiprocessing shards); all return "
-                           "identical answers and loads")
+                      help="execution engine simulating the round: batched "
+                           "(vectorized, default), reference (tuple-at-a-time "
+                           "parity oracle), mp (multiprocessing shards); all "
+                           "return identical answers and loads")
     race.set_defaults(func=cmd_race)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a p x skew x m x algorithm grid; emit JSON/CSV records",
+    )
+    sweep.add_argument("query")
+    sweep.add_argument("--workload", choices=list(WORKLOAD_KINDS),
+                       default="zipf")
+    sweep.add_argument("--p", default="16",
+                       help="comma-separated server counts (e.g. 8,16,64)")
+    sweep.add_argument("--m", default="1000",
+                       help="comma-separated relation cardinalities")
+    sweep.add_argument("--skew", default="1.0",
+                       help="comma-separated skew parameters")
+    sweep.add_argument("--seeds", default="0",
+                       help="comma-separated generator seeds")
+    sweep.add_argument("--algorithms", default="applicable",
+                       help="'applicable' (default), 'auto' (planner pick "
+                            "per cell), or comma-separated registry keys")
+    sweep.add_argument("--engine", choices=available_engines(),
+                       default="batched")
+    sweep.add_argument("--verify", action="store_true",
+                       help="verify completeness in every cell (slow)")
+    sweep.add_argument("--format", choices=["json", "csv", "summary"],
+                       default="json")
+    sweep.add_argument("--workers", type=int, default=None,
+                       help="farm cells across N worker processes")
+    sweep.add_argument("--output", default=None,
+                       help="write records to this file instead of stdout")
+    sweep.set_defaults(func=cmd_sweep)
     return parser
 
 

@@ -88,6 +88,25 @@ class BroadcastHyperCube(OneRoundAlgorithm):
     def __init__(self, query: ConjunctiveQuery) -> None:
         super().__init__(query, name="hypercube-broadcast")
 
+    def predicted_load_bits(self, stats: object, p: int) -> float:
+        """Broadcast relations cost their full ``M_j`` per server; the
+        survivors cost whatever the reduced-query HyperCube predicts."""
+        simple = self._simple_stats(stats)
+        bits = simple.bits_vector(self.query)
+        if p < 2 or all(value <= 0 for value in bits.values()):
+            return sum(bits.values())
+        dropped, _remaining = broadcast_reduction(self.query, bits, p)
+        reduced = reduced_query(self.query, dropped)
+        dropped_names = [
+            atom.name
+            for atom in self.query.atoms
+            if not reduced.has_atom(atom.name)
+        ]
+        inner = HyperCubeAlgorithm.with_optimal_shares(reduced, simple, p)
+        return sum(bits[name] for name in dropped_names) + inner.predicted_load_bits(
+            stats, p
+        )
+
     def routing_plan(self, db: Database, p: int, hashes: HashFamily) -> RoutingPlan:
         stats = SimpleStatistics.of(db)
         bits = stats.bits_vector(self.query)

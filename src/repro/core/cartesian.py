@@ -149,16 +149,36 @@ class CartesianProductAlgorithm(OneRoundAlgorithm):
 
     def __init__(self, query: ConjunctiveQuery) -> None:
         super().__init__(query, name="cartesian-grid")
-        # Validate: no two atoms may share a variable.
+        reason = self.applicability(query)
+        if reason is not None:
+            raise QueryError(f"{query.name!r} is {reason}")
+
+    @classmethod
+    def applicability(cls, query: ConjunctiveQuery) -> str | None:
         seen: dict[str, str] = {}
         for atom in query.atoms:
             for var in atom.variable_set:
                 if var in seen:
-                    raise QueryError(
-                        f"{query.name!r} is not a cartesian product: variable "
-                        f"{var!r} appears in both {seen[var]} and {atom.name}"
+                    return (
+                        f"not a cartesian product: variable {var!r} is "
+                        f"shared by {seen[var]} and {atom.name}"
                     )
                 seen[var] = atom.name
+        return None
+
+    def predicted_load_bits(self, stats: object, p: int) -> float:
+        """``sum_j M_j / p_j`` for the optimal integer grid: each
+        ``S_j``-tuple reaches a ``1/p_j`` fraction of the grid."""
+        simple = self._simple_stats(stats)
+        cardinalities = {
+            atom.name: max(1, simple.cardinality(atom.name))
+            for atom in self.query.atoms
+        }
+        dims = optimal_grid(cardinalities, p)
+        return sum(
+            simple.bits(atom.name) / dims[atom.name]
+            for atom in self.query.atoms
+        )
 
     def routing_plan(self, db: Database, p: int, hashes: HashFamily) -> RoutingPlan:
         stats = SimpleStatistics.of(db)

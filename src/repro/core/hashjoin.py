@@ -30,7 +30,21 @@ class HashJoinAlgorithm(HyperCubeAlgorithm):
 
     The server budget is split evenly (``p^(1/|X|)`` per key) when several
     partition variables are given.
+
+    Applicability is declared by :meth:`applicability` (the registry way);
+    constructing the algorithm on an inapplicable query still raises
+    :class:`~repro.query.atoms.QueryError` for backwards compatibility, but
+    probing the constructor for applicability is deprecated.
     """
+
+    @classmethod
+    def applicability(cls, query: ConjunctiveQuery) -> str | None:
+        if not default_partition_variables(query):
+            return (
+                "no variable occurs in every atom, so there is no default "
+                "hash-partition key"
+            )
+        return None
 
     def __init__(
         self,

@@ -241,6 +241,44 @@ class HyperCubeAlgorithm(OneRoundAlgorithm):
             )
         return HyperCubePlan(self.query, self.shares, hashes)
 
+    def predicted_load_bits(self, stats: object, p: int) -> float:
+        """Expected busiest-server load for this share vector, in bits.
+
+        Per atom the skew-free expectation is ``M_j / prod_{i in S_j} p_i``
+        (each tuple lands on ``prod_{i not in S_j} p_i`` of the
+        ``prod_i p_i`` grid cells).  With heavy-hitter statistics the
+        per-atom estimate is raised to the hash-forced mass of the worst
+        single-variable hitter: all ``m_j(h)`` tuples sharing value ``h``
+        at variable ``v`` collide on one coordinate of dimension ``v``, so
+        some server receives at least ``m_j(h) / prod_{i in S_j - v} p_i``
+        of them (Example 3.3's collapse, quantified).  Per-server loads
+        sum over atoms, matching ``ExecutionResult.max_load_bits``.
+        """
+        simple = self._simple_stats(stats)
+        heavy = self._heavy_stats(stats, p)
+        heavy_of = None if heavy is None else heavy.heavy_hitters
+        total = 0.0
+        for atom in self.query.atoms:
+            bits = simple.bits(atom.name)
+            if bits <= 0:
+                continue
+            grid = math.prod(self.shares[var] for var in atom.variable_set)
+            per_atom = bits / grid
+            cardinality = simple.cardinality(atom.name)
+            if heavy_of is not None and cardinality:
+                tuple_bits = bits / cardinality
+                for var in atom.variable_set:
+                    hitters = heavy_of(atom.name, (var,))
+                    if not hitters:
+                        continue
+                    forced = (
+                        max(hitters.values()) * tuple_bits
+                        * self.shares[var] / grid
+                    )
+                    per_atom = max(per_atom, forced)
+            total += per_atom
+        return total
+
     def expected_max_load_bits(self, stats: SimpleStatistics) -> float:
         """``max_j M_j / prod_{i in S_j} p_i`` — the skew-free expectation."""
         bits = stats.bits_vector(self.query)

@@ -432,6 +432,37 @@ class BinHyperCubeAlgorithm(OneRoundAlgorithm):
         self._stats = stats
         self.nbc = nbc
 
+    def predicted_load_bits(self, stats: object, p: int) -> float:
+        """Theorem 4.6's target: per-combination loads add (all
+        combinations share the same ``p`` physical servers).
+
+        The empty combination *is* HyperCube with LP-optimal integer
+        shares, so it is costed by that algorithm's own skew-free
+        expectation (heavy values it would collapse on are owned by finer
+        combinations instead).  With heavy-hitter statistics the real
+        ``C'(B)`` construction runs and each populated non-empty
+        combination contributes its LP target ``p^lambda(B)``; with simple
+        statistics only the empty combination exists.
+        """
+        from .hypercube import HyperCubeAlgorithm
+
+        simple = self._simple_stats(stats)
+        bits = simple.bits_vector(self.query)
+        if p < 2 or all(value <= 0 for value in bits.values()):
+            return sum(bits.values())
+        base = HyperCubeAlgorithm.with_optimal_shares(
+            self.query, simple, p
+        ).predicted_load_bits(simple, p)
+        hh = self._heavy_stats(stats, p) or self._heavy_stats(self._stats, p)
+        if hh is None:
+            return base
+        combos, lps = build_cprime(self.query, hh, p, bits, nbc=self.nbc)
+        return base + sum(
+            lps[combo].load_bits(p)
+            for combo, members in combos.items()
+            if members and combo.variables
+        )
+
     def routing_plan(
         self, db: Database, p: int, hashes: HashFamily
     ) -> BinHyperCubePlan:

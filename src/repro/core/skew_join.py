@@ -267,6 +267,33 @@ class SkewAwareJoin(OneRoundAlgorithm):
         _split_variables(query)  # validate shape early
         self._stats = stats
 
+    @classmethod
+    def applicability(cls, query: ConjunctiveQuery) -> str | None:
+        try:
+            _split_variables(query)
+        except QueryError as exc:
+            return str(exc)
+        return None
+
+    def predicted_load_bits(self, stats: object, p: int) -> float:
+        """Formula (10) as a per-server expectation.
+
+        The light path is a hash join over all ``p`` servers, receiving the
+        light mass of both relations: ``(M_1 + M_2) / p`` on skew-free data.
+        With heavy-hitter statistics the dedicated blocks add the paper's
+        ``L_1``, ``L_2`` and ``L_12`` terms (the blocks live on disjoint
+        servers, but a prediction must cover whichever block is busiest,
+        so the terms are summed for a safe-side estimate).
+        """
+        simple = self._simple_stats(stats)
+        first, second, _ = _split_variables(self.query)
+        light = (simple.bits(first.name) + simple.bits(second.name)) / p
+        hh = self._heavy_stats(stats, p) or self._heavy_stats(self._stats, p)
+        if hh is None:
+            return light
+        components = skew_join_load_bound(hh, self.query, in_bits=True)
+        return light + components["L1"] + components["L2"] + components["L12"]
+
     def routing_plan(
         self, db: Database, p: int, hashes: HashFamily
     ) -> SkewAwareJoinPlan:

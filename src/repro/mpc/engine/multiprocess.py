@@ -36,6 +36,15 @@ from ..hashing import HashFamily
 from .base import ExecutionEngine
 from .batched import BatchedEngine
 
+def pool_context():
+    """Fork-first multiprocessing context (fork inherits routing plans and
+    cells for free); the platform default otherwise.  Shared by this
+    engine and the sweep runner's cell farm."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
 # Per-worker state installed by the pool initializer (plan, query, domain,
 # compute_answers).  Module-level so the worker functions are picklable.
 _STATE: dict[str, object] = {}
@@ -116,10 +125,7 @@ class MultiprocessEngine(ExecutionEngine):
 
     @staticmethod
     def _context():
-        methods = multiprocessing.get_all_start_methods()
-        if "fork" in methods:
-            return multiprocessing.get_context("fork")
-        return multiprocessing.get_context()
+        return pool_context()
 
     def run(
         self,

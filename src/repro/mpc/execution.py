@@ -132,11 +132,35 @@ class RoutingPlan(ABC):
 
 
 class OneRoundAlgorithm(ABC):
-    """A one-round MPC algorithm for a fixed query."""
+    """A one-round MPC algorithm for a fixed query.
+
+    Besides the routing plan itself, every algorithm *declares* two pieces
+    of planner metadata (consumed by :mod:`repro.api`):
+
+    * :meth:`applicability` — which queries the algorithm handles, as a
+      class-level predicate.  This replaces the older idiom of probing a
+      constructor and catching :class:`~repro.query.atoms.QueryError`
+      (still supported, but deprecated for applicability checks).
+    * :meth:`predicted_load_bits` — the expected max per-server load in
+      bits, computed from statistics alone.  The convention matches
+      :attr:`ExecutionResult.max_load_bits`: the busiest server's *total*
+      received bits, summed over relations.  Implementations use the
+      skew-free expectation, refined by heavy-hitter statistics when a
+      :class:`~repro.stats.heavy_hitters.HeavyHitterStatistics` is passed.
+    """
 
     def __init__(self, query: ConjunctiveQuery, name: str) -> None:
         self.query = query
         self.name = name
+
+    @classmethod
+    def applicability(cls, query: ConjunctiveQuery) -> str | None:
+        """None if the algorithm handles ``query``, else a reason string.
+
+        The default declares the algorithm applicable to every full
+        conjunctive query; restricted algorithms override this.
+        """
+        return None
 
     @abstractmethod
     def routing_plan(
@@ -147,6 +171,41 @@ class OneRoundAlgorithm(ABC):
         Implementations may consult database *statistics* (cardinalities,
         heavy hitters) but must route each tuple independently of the others.
         """
+
+    def predicted_load_bits(self, stats: object, p: int) -> float:
+        """Predicted max per-server load (bits) on a workload with ``stats``.
+
+        ``stats`` is a :class:`~repro.stats.cardinality.SimpleStatistics`
+        or a :class:`~repro.stats.heavy_hitters.HeavyHitterStatistics`
+        (the latter enables skew-aware predictions).  The prediction is
+        what the bounds machinery *expects* the measured
+        :attr:`ExecutionResult.max_load_bits` to track, sans the paper's
+        polylog factors — the planner ranks algorithms by this value.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement a load prediction"
+        )
+
+    @staticmethod
+    def _simple_stats(stats: object):
+        """Accept Simple- or HeavyHitterStatistics; return the simple part."""
+        return getattr(stats, "simple", stats)
+
+    @staticmethod
+    def _heavy_stats(stats: object, p: int):
+        """``stats`` as usable heavy-hitter statistics, or None.
+
+        The single arbiter every skew-aware cost hook (and the registry)
+        shares: statistics qualify only when they are a
+        :class:`~repro.stats.heavy_hitters.HeavyHitterStatistics` whose
+        hitters were thresholded against this ``p`` — hitters computed for
+        a different ``m/p`` threshold are unusable.
+        """
+        from ..stats.heavy_hitters import HeavyHitterStatistics
+
+        if isinstance(stats, HeavyHitterStatistics) and stats.p == p:
+            return stats
+        return None
 
 
 @dataclass(frozen=True)
@@ -189,7 +248,7 @@ def run_one_round(
     seed: int = 0,
     compute_answers: bool = True,
     verify: bool = False,
-    engine: "str | ExecutionEngine" = "reference",
+    engine: "str | ExecutionEngine" = "batched",
 ) -> ExecutionResult:
     """Simulate one communication round of ``algorithm`` on ``db``.
 
@@ -202,11 +261,14 @@ def run_one_round(
         When True, also run the sequential join and record it for
         :attr:`ExecutionResult.is_complete`.
     engine:
-        Which execution engine simulates the round: ``"reference"`` (the
-        tuple-at-a-time oracle), ``"batched"`` (vectorized routing, streams
-        load accounting), ``"mp"`` (multiprocessing shards), or any
+        Which execution engine simulates the round: ``"batched"`` (the
+        library-wide default — vectorized routing, streams load
+        accounting), ``"reference"`` (the tuple-at-a-time parity oracle),
+        ``"mp"`` (multiprocessing shards), or any
         :class:`repro.mpc.engine.ExecutionEngine` instance.  All engines
-        return identical answers and loads.
+        return identical answers and loads, so the default is purely a
+        speed choice; ``"reference"`` remains the oracle the parity suite
+        checks the others against.
     """
     from .engine import resolve_engine  # local import: engines import us
 

@@ -1,0 +1,288 @@
+"""The experiment/sweep runner and the RunRecord schema."""
+
+import json
+
+import pytest
+
+from repro.api import (
+    Cell,
+    Experiment,
+    ExperimentError,
+    RecordError,
+    RUN_RECORD_FIELDS,
+    RunRecord,
+    Sweep,
+    WorkloadSpec,
+    records_from_json,
+    records_to_csv,
+    run_cell,
+    validate_record,
+)
+from repro.query import parse_query
+
+JOIN_TEXT = "q(x, y, z) :- S1(x, z), S2(y, z)"
+
+
+class TestWorkloadSpec:
+    def test_build_is_deterministic(self):
+        query = parse_query(JOIN_TEXT)
+        spec = WorkloadSpec("zipf", m=90, skew=1.2, seed=4)
+        first, second = spec.build(query), spec.build(query)
+        for atom in query.atoms:
+            assert first.relation(atom.name).tuples == \
+                second.relation(atom.name).tuples
+
+    def test_every_kind_builds(self):
+        query = parse_query(JOIN_TEXT)
+        for kind in ("uniform", "zipf", "worst", "matching"):
+            db = WorkloadSpec(kind, m=40, skew=0.8, seed=1).build(query)
+            assert db.relation("S1").cardinality == 40
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ExperimentError, match="unknown workload"):
+            WorkloadSpec("gaussian", m=10)
+
+    def test_nonpositive_m_rejected(self):
+        with pytest.raises(ExperimentError, match="m >= 1"):
+            WorkloadSpec("uniform", m=0)
+
+    def test_domain_override(self):
+        query = parse_query(JOIN_TEXT)
+        spec = WorkloadSpec("zipf", m=50, skew=0.5, domain=400)
+        assert spec.domain_size == 400
+        assert spec.build(query).domain_size == 400
+        # The kind defaults survive when no override is given.
+        assert WorkloadSpec("zipf", m=50).domain_size == 200
+        assert WorkloadSpec("uniform", m=50).domain_size == 400
+
+
+class TestRunCell:
+    def test_cell_produces_valid_record(self):
+        record = run_cell(Cell(
+            query=JOIN_TEXT, workload="zipf", m=80, skew=1.0, seed=0,
+            p=4, algorithm="hypercube-lp",
+        ))
+        payload = record.to_dict()
+        validate_record(payload)
+        assert payload["algorithm"] == "hypercube-lp"
+        assert payload["max_load_bits"] > 0
+        assert payload["wall_seconds"] >= 0
+        assert payload["answer_count"] is None  # answers skipped by default
+
+    def test_auto_cell_uses_planner_choice(self):
+        record = run_cell(Cell(
+            query=JOIN_TEXT, workload="uniform", m=80, skew=0.0, seed=0,
+            p=4, algorithm="auto",
+        ))
+        assert record.algorithm != "auto"  # resolved to a registry key
+
+    def test_verify_cell_checks_completeness(self):
+        record = run_cell(Cell(
+            query=JOIN_TEXT, workload="worst", m=40, skew=0.0, seed=0,
+            p=4, algorithm="skew-join", verify=True,
+        ))
+        assert record.complete is True
+        assert record.answer_count is not None
+
+    def test_inapplicable_cell_is_an_error(self):
+        with pytest.raises(ExperimentError, match="not applicable"):
+            run_cell(Cell(
+                query="C3(x,y,z) :- R(x,y), S(y,z), T(z,x)",
+                workload="uniform", m=40, skew=0.0, seed=0,
+                p=4, algorithm="skew-join",
+            ))
+
+
+class TestExperiment:
+    def test_applicable_expands_to_every_algorithm(self):
+        experiment = Experiment(
+            JOIN_TEXT,
+            workload=WorkloadSpec("uniform", m=60),
+            p=4,
+            algorithms="applicable",
+        )
+        cells = experiment.cells()
+        assert {cell.algorithm for cell in cells} == {
+            "hypercube-lp", "hypercube-equal", "hypercube-broadcast",
+            "hashjoin", "skew-join", "bin-hypercube",
+        }
+        records = experiment.run()
+        assert len(records) == len(cells)
+
+    def test_explicit_inapplicable_algorithm_rejected_early(self):
+        experiment = Experiment(
+            "C3(x,y,z) :- R(x,y), S(y,z), T(z,x)",
+            algorithms=["skew-join"],
+        )
+        with pytest.raises(ExperimentError, match="not applicable"):
+            experiment.cells()
+
+
+class TestSweep:
+    def _sweep(self, **overrides):
+        config = dict(
+            query=JOIN_TEXT,
+            workload="zipf",
+            p_values=(4, 8),
+            m_values=(80,),
+            skews=(0.0, 1.2),
+            seeds=(0,),
+            algorithms="applicable",
+        )
+        config.update(overrides)
+        return Sweep(**config)
+
+    def test_grid_size(self):
+        """p x skew x algorithm: 2 x 2 x 6 = 24 cells (acceptance floor)."""
+        cells = self._sweep().cells()
+        assert len(cells) == 24
+
+    def test_sequential_run_emits_valid_exports(self):
+        result = self._sweep().run()
+        assert len(result) == 24
+        # JSON round-trips through the schema validator.
+        payload = json.loads(result.to_json())
+        for entry in payload:
+            validate_record(entry)
+        reloaded = records_from_json(result.to_json())
+        assert [r.algorithm for r in reloaded] == \
+            [r.algorithm for r in result.records]
+        # CSV exposes the schema's column order.
+        lines = result.to_csv().splitlines()
+        assert lines[0] == ",".join(RUN_RECORD_FIELDS)
+        assert len(lines) == 25
+        # Records carry the full predicted/measured/bound/gap story.
+        for record in result:
+            assert record.predicted_load_bits > 0
+            assert record.max_load_bits > 0
+            assert record.lower_bound_bits > 0
+            assert record.optimality_gap == pytest.approx(
+                record.max_load_bits / record.lower_bound_bits
+            )
+
+    def test_parallel_run_matches_sequential(self):
+        """Farming cells across the process pool changes nothing but time."""
+        sweep = self._sweep(skews=(1.2,))
+        sequential = sweep.run()
+        parallel = sweep.run(max_workers=4)
+
+        def key(record):
+            return (record.p, record.skew, record.algorithm)
+
+        left = {key(r): r for r in sequential}
+        right = {key(r): r for r in parallel}
+        assert left.keys() == right.keys()
+        for cell_key, record in left.items():
+            other = right[cell_key]
+            assert record.max_load_bits == other.max_load_bits
+            assert record.max_load_tuples == other.max_load_tuples
+            assert record.predicted_load_bits == other.predicted_load_bits
+
+    def test_parallel_run_supports_the_mp_engine(self):
+        """Cells running the mp engine must be able to open that engine's
+        own pool inside a farm worker (non-daemonic executor processes)."""
+        sweep = self._sweep(
+            skews=(0.0,), p_values=(4,),
+            algorithms=("hypercube-lp", "hashjoin"), engine="mp",
+        )
+        result = sweep.run(max_workers=2)
+        assert len(result) == 2
+        batched = self._sweep(
+            skews=(0.0,), p_values=(4,),
+            algorithms=("hypercube-lp", "hashjoin"), engine="batched",
+        ).run()
+        # Engine parity: the farmed mp loads equal the batched loads.
+        assert [r.max_load_bits for r in result] == \
+            [r.max_load_bits for r in batched]
+
+    def test_progress_callback_sees_every_record(self):
+        seen = []
+        self._sweep(skews=(0.0,), p_values=(4,)).run(progress=seen.append)
+        assert len(seen) == 6
+
+    def test_best_per_cell_and_summary(self):
+        result = self._sweep(skews=(1.2,), p_values=(8,)).run()
+        best = result.best_per_cell()
+        assert len(best) == 1
+        (winner,) = best.values()
+        assert winner.max_load_bits == min(
+            r.max_load_bits for r in result
+        )
+        summary = result.summary()
+        assert "predicted" in summary and "measured" in summary
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ExperimentError, match="empty"):
+            self._sweep(p_values=()).run()
+
+    def test_bad_axis_values_rejected_at_cells_time(self):
+        with pytest.raises(ExperimentError, match="m >= 1"):
+            self._sweep(m_values=(0,)).cells()
+        with pytest.raises(ExperimentError, match="p must be >= 1"):
+            self._sweep(p_values=(0,)).cells()
+
+    def test_domain_override_reaches_the_records(self):
+        result = self._sweep(
+            skews=(0.0,), p_values=(4,), algorithms=("hashjoin",),
+            domain=500,
+        ).run()
+        assert result.records[0].domain == 500
+
+
+class TestRecordSchema:
+    def _record(self):
+        return RunRecord(
+            query=JOIN_TEXT, workload="zipf", m=10, skew=1.0, seed=0,
+            domain=40, p=4,
+            algorithm="hashjoin", algorithm_name="hashjoin", engine="batched",
+            predicted_load_bits=100.0, lower_bound_bits=50.0,
+            max_load_bits=120.0, max_load_tuples=12,
+            replication_rate=1.0, balance=1.5, wall_seconds=0.01,
+        )
+
+    def test_roundtrip(self):
+        record = self._record()
+        clone = RunRecord.from_dict(record.to_dict())
+        assert clone == record
+
+    def test_derived_ratios(self):
+        record = self._record()
+        assert record.optimality_gap == pytest.approx(2.4)
+        assert record.prediction_error == pytest.approx(1.2)
+
+    def test_missing_field_rejected(self):
+        payload = self._record().to_dict()
+        del payload["max_load_bits"]
+        with pytest.raises(RecordError, match="missing"):
+            validate_record(payload)
+
+    def test_unknown_field_rejected(self):
+        payload = self._record().to_dict()
+        payload["surprise"] = 1
+        with pytest.raises(RecordError, match="unknown"):
+            validate_record(payload)
+
+    def test_wrong_type_rejected(self):
+        payload = self._record().to_dict()
+        payload["p"] = "four"
+        with pytest.raises(RecordError, match="type"):
+            validate_record(payload)
+
+    def test_bool_is_not_an_int(self):
+        payload = self._record().to_dict()
+        payload["m"] = True
+        with pytest.raises(RecordError, match="bool"):
+            validate_record(payload)
+
+    def test_null_only_where_nullable(self):
+        payload = self._record().to_dict()
+        payload["answer_count"] = None  # fine: nullable
+        validate_record(payload)
+        payload["engine"] = None
+        with pytest.raises(RecordError, match="null"):
+            validate_record(payload)
+
+    def test_csv_renders_none_as_empty(self):
+        text = records_to_csv([self._record()])
+        row = text.splitlines()[1]
+        assert row.endswith(",,,2.4,1.2") or ",," in row

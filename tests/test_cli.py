@@ -1,7 +1,10 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
+from repro.api import validate_record
 from repro.cli import main
 
 
@@ -30,12 +33,32 @@ class TestBoundsCommand:
         assert "space exponent" in out
 
     def test_missing_cardinality_errors(self):
-        with pytest.raises(Exception):
+        with pytest.raises(SystemExit) as excinfo:
             main(["bounds", "q(x) :- S(x)", "-p", "4"])
+        assert "missing cardinalities" in str(excinfo.value)
+
+    def test_plan_missing_cardinality_is_a_clean_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main([
+                "plan", "q(x,y,z) :- S1(x,z), S2(y,z)",
+                "--cardinality", "S1=100", "-p", "8",
+            ])
+        assert "missing cardinalities" in str(excinfo.value)
 
     def test_malformed_cardinality(self):
         with pytest.raises(SystemExit):
             main(["bounds", "q(x) :- S(x)", "--cardinality", "S1"])
+
+    def test_non_integer_cardinality_is_a_clean_error(self):
+        """A bad count exits with a message, not a ValueError traceback."""
+        with pytest.raises(SystemExit) as excinfo:
+            main(["bounds", "q(x) :- S(x)", "--cardinality", "S=many"])
+        assert "integer" in str(excinfo.value)
+        assert "many" in str(excinfo.value)
+
+    def test_float_cardinality_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["bounds", "q(x) :- S(x)", "--cardinality", "S=12.5"])
 
 
 class TestRaceCommand:
@@ -57,7 +80,15 @@ class TestRaceCommand:
         ]) == 0
         out = capsys.readouterr().out
         assert "hypercube-lp" in out
-        assert "skew-join" not in out  # not applicable to 3 atoms
+        # skew-join is declared inapplicable (3 atoms): it must not appear
+        # as a result row, only in the not-applicable footer with a reason.
+        table_rows = [
+            line for line in out.splitlines()
+            if line.strip().startswith("skew-join")
+        ]
+        assert table_rows == []
+        assert "not applicable:" in out
+        assert "skew-join (the skew-aware join handles exactly two atoms" in out
 
     def test_worst_case_workload(self, capsys):
         assert main([
@@ -113,4 +144,106 @@ class TestEngineFlag:
         with pytest.raises(SystemExit):
             main([
                 "race", "q(x) :- S(x)", "--engine", "warp-drive",
+            ])
+
+
+class TestPlanCommand:
+    def test_plan_from_workload(self, capsys):
+        assert main([
+            "plan", "q(x,y,z) :- S1(x,z), S2(y,z)",
+            "--workload", "zipf", "--skew", "1.5", "-m", "200", "-p", "8",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Theorem 3.6 lower bound" in out
+        assert "skew-join" in out
+        assert "not applicable" in out  # cartesian-grid on a join query
+
+    def test_plan_from_cardinalities(self, capsys):
+        assert main([
+            "plan", "q(x,y,z) :- S1(x,z), S2(y,z)",
+            "--cardinality", "S1=4096", "--cardinality", "S2=1024",
+            "--domain", "100000", "-p", "64",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "declared cardinalities" in out
+        assert "predicted" in out
+
+    def test_plan_json(self, capsys):
+        assert main([
+            "plan", "q(x,y,z) :- S1(x,z), S2(y,z)",
+            "--workload", "uniform", "-m", "150", "-p", "8", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["p"] == 8
+        assert payload["lower_bound_bits"] > 0
+        keys = {entry["key"] for entry in payload["predictions"]}
+        assert "hypercube-lp" in keys
+        chosen = payload["chosen"]
+        applicable = [
+            entry for entry in payload["predictions"] if entry["applicable"]
+        ]
+        best = min(applicable, key=lambda e: e["predicted_load_bits"])
+        assert chosen == best["key"]
+
+
+class TestSweepCommand:
+    GRID = [
+        "sweep", "q(x,y,z) :- S1(x,z), S2(y,z)",
+        "--workload", "zipf", "--skew", "0.0,1.2", "--p", "4,8",
+        "--m", "100",
+    ]
+
+    def test_sweep_json_records_validate(self, capsys):
+        """A >= 24-cell p x skew x algorithm grid emits schema-valid JSON."""
+        assert main(self.GRID + ["--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        # 2 p-values x 2 skews x 6 applicable algorithms = 24 cells.
+        assert len(payload) >= 24
+        for entry in payload:
+            validate_record(entry)
+            assert entry["engine"] == "batched"
+            assert entry["predicted_load_bits"] > 0
+            assert entry["max_load_bits"] > 0
+            assert entry["lower_bound_bits"] > 0
+            assert entry["optimality_gap"] >= 1.0
+
+    def test_sweep_csv(self, capsys):
+        assert main(self.GRID + ["--format", "csv"]) == 0
+        out = capsys.readouterr().out
+        lines = [line for line in out.splitlines() if line.strip()]
+        assert lines[0].startswith("query,workload,m,skew")
+        assert len(lines) >= 25  # header + 24 cells
+
+    def test_sweep_auto_picks_one_algorithm_per_cell(self, capsys):
+        assert main([
+            "sweep", "q(x,y,z) :- S1(x,z), S2(y,z)",
+            "--workload", "zipf", "--skew", "0.0", "--p", "4",
+            "--m", "80", "--algorithms", "auto", "--format", "json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload) == 1
+
+    def test_sweep_output_file(self, capsys, tmp_path):
+        target = tmp_path / "records.json"
+        assert main([
+            "sweep", "q(x,y,z) :- S1(x,z), S2(y,z)",
+            "--workload", "uniform", "--skew", "0.0", "--p", "4",
+            "--m", "60", "--algorithms", "hypercube-lp",
+            "--format", "json", "--output", str(target),
+        ]) == 0
+        payload = json.loads(target.read_text())
+        assert len(payload) == 1
+        validate_record(payload[0])
+
+    def test_sweep_rejects_bad_grid(self):
+        with pytest.raises(SystemExit):
+            main([
+                "sweep", "q(x) :- S(x)", "--p", "four",
+            ])
+
+    def test_sweep_rejects_inapplicable_algorithm(self):
+        with pytest.raises(SystemExit):
+            main([
+                "sweep", "C3(x,y,z) :- R(x,y), S(y,z), T(z,x)",
+                "--algorithms", "skew-join",
             ])
