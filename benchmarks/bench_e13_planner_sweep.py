@@ -9,12 +9,18 @@ measured:
    regret stays small.
 2. **Sweep throughput** — cells/second of the declarative grid runner,
    the number that bounds every larger experiment campaign.
+
+Per-cell timings come from the observability layer: an
+:class:`~repro.obs.Observation` is passed into :meth:`Sweep.run` and the
+``sweep.cell.seconds`` histogram it accumulates is reported alongside the
+pytest-benchmark wall clock.
 """
 
 from __future__ import annotations
 
-from conftest import record
+from conftest import phase_ms, record
 from repro.api import Sweep
+from repro.obs import Observation
 
 QUERY = "q(x, y, z) :- S1(x, z), S2(y, z)"
 P_VALUES = (8, 32)
@@ -33,7 +39,10 @@ def test_planner_regret(benchmark):
         algorithms="applicable",
     )
 
-    result = benchmark.pedantic(sweep.run, rounds=1, iterations=1)
+    obs = Observation.create()
+    result = benchmark.pedantic(
+        lambda: sweep.run(obs=obs), rounds=1, iterations=1
+    )
     worst_regret = 0.0
     picked_best = 0
     cells = result.best_per_cell()
@@ -56,6 +65,7 @@ def test_planner_regret(benchmark):
         cells=len(cells),
         picked_best=picked_best,
         worst_regret=worst_regret,
+        cell_ms=phase_ms(obs, "sweep.cell"),
     )
     assert worst_regret <= 2.0
 
@@ -70,12 +80,14 @@ def test_sweep_throughput(benchmark):
         skews=SKEWS,
         algorithms=("hypercube-lp", "hashjoin", "skew-join"),
     )
-    result = benchmark(sweep.run)
+    obs = Observation.create()
+    result = benchmark(lambda: sweep.run(obs=obs))
     assert len(result) == len(P_VALUES) * len(SKEWS) * 3
     record(
         benchmark,
         "E13",
         cells=len(result),
+        cell_ms=phase_ms(obs, "sweep.cell"),
         mean_gap=sum(
             r.optimality_gap for r in result if r.optimality_gap
         ) / len(result),

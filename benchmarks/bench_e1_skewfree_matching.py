@@ -5,13 +5,17 @@ within a small (polylog) factor.
 Regenerates, for several query shapes and unequal cardinalities, the pair
 (measured max load, L_lower) whose ratio the theorem bounds.  Also ablates
 the share-rounding strategy (DESIGN.md §5).
+
+Per-phase timings (routing vs local join) are read from the metrics layer
+via an :class:`~repro.obs.Observation` threaded through ``run_one_round``,
+so the breakdown matches what ``repro race --metrics`` reports.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from conftest import record
+from conftest import phase_ms, record
 from repro.core import (
     HyperCubeAlgorithm,
     integer_shares,
@@ -20,6 +24,7 @@ from repro.core import (
 )
 from repro.data import matching_relation, uniform_relation
 from repro.mpc import run_one_round
+from repro.obs import Observation
 from repro.query import chain_query, simple_join_query, triangle_query
 from repro.seq import Database
 from repro.stats import SimpleStatistics
@@ -53,8 +58,10 @@ def test_hc_matches_lower_bound(benchmark, engine, label, query, cardinalities, 
     stats = SimpleStatistics.of(db)
     algo = HyperCubeAlgorithm.with_optimal_shares(query, stats, p)
 
+    obs = Observation.create()
     result = benchmark(
-        lambda: run_one_round(algo, db, p, compute_answers=False, engine=engine)
+        lambda: run_one_round(algo, db, p, compute_answers=False,
+                              engine=engine, obs=obs)
     )
     bound = lower_bound(query, stats.bits_vector(query), p)
     ratio = result.max_load_bits / bound.bits
@@ -66,6 +73,8 @@ def test_hc_matches_lower_bound(benchmark, engine, label, query, cardinalities, 
         measured_bits=result.max_load_bits,
         lower_bound_bits=bound.bits,
         ratio=ratio,
+        route_ms=phase_ms(obs, "engine.route"),
+        run_ms=phase_ms(obs, "engine.run"),
         shares=str(algo.shares),
     )
     # The theorem promises O(polylog p); anything within ~8x at this scale.
@@ -177,8 +186,10 @@ def test_uniform_data_matches_matching_data(benchmark, engine):
     )
     stats = SimpleStatistics.of(db)
     algo = HyperCubeAlgorithm.with_optimal_shares(query, stats, p)
+    obs = Observation.create()
     result = benchmark(
-        lambda: run_one_round(algo, db, p, compute_answers=False, engine=engine)
+        lambda: run_one_round(algo, db, p, compute_answers=False,
+                              engine=engine, obs=obs)
     )
     bound = lower_bound(query, stats.bits_vector(query), p)
     record(
@@ -188,5 +199,6 @@ def test_uniform_data_matches_matching_data(benchmark, engine):
         measured_bits=result.max_load_bits,
         lower_bound_bits=bound.bits,
         ratio=result.max_load_bits / bound.bits,
+        route_ms=phase_ms(obs, "engine.route"),
     )
     assert result.max_load_bits <= 8 * bound.bits

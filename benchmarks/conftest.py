@@ -14,6 +14,11 @@ The execution engine simulating the rounds is selectable::
 loads are identical by the engine-parity contract; only the wall-clock
 changes).  Benchmarks opt in by taking the ``engine`` fixture and passing
 it to ``run_one_round``.
+
+Phase timings come from the observability layer (:mod:`repro.obs`), not
+ad-hoc ``perf_counter`` bracketing: benchmarks pass an
+:class:`~repro.obs.Observation` into ``run_one_round``/``Sweep.run`` and
+read the per-phase histograms back through :func:`phase_ms`.
 """
 
 from __future__ import annotations
@@ -23,6 +28,7 @@ from typing import Any
 import pytest
 
 from repro.mpc import available_engines
+from repro.obs import Observation
 
 
 def pytest_addoption(parser: Any) -> None:
@@ -40,6 +46,16 @@ def pytest_addoption(parser: Any) -> None:
 def engine(request: Any) -> str:
     """The ``--engine`` choice, threaded into ``run_one_round`` calls."""
     return request.config.getoption("--engine")
+
+
+def phase_ms(obs: Observation, name: str) -> float:
+    """Mean milliseconds of one instrumented phase (``name`` without the
+    ``.seconds`` suffix), read from the metrics layer's histogram.
+
+    The mean absorbs pytest-benchmark's repeated invocations: every round
+    observes another sample into the same shared registry.
+    """
+    return 1e3 * obs.metrics.histogram(f"{name}.seconds").mean
 
 
 def record(benchmark: Any, experiment: str, **values: Any) -> None:

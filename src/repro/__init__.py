@@ -96,6 +96,11 @@ from .mpc import (
     available_engines,
     run_one_round,
 )
+from .obs import (
+    MetricsRegistry,
+    Observation,
+    Tracer,
+)
 from .query import (
     Atom,
     ConjunctiveQuery,
@@ -159,6 +164,9 @@ __all__ = [
     "ReferenceEngine",
     "available_engines",
     "run_one_round",
+    "MetricsRegistry",
+    "Observation",
+    "Tracer",
     "Atom",
     "ConjunctiveQuery",
     "QueryError",

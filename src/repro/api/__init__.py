@@ -11,7 +11,10 @@ algorithms as *experiments* rather than hand-assembled scripts:
    optimality-gap reporting;
 3. :mod:`repro.api.experiment` — :class:`Experiment`/:class:`Sweep`
    execute declarative grids through the pluggable execution engines and
-   return schema-checked :class:`RunRecord` rows (JSON/CSV exportable).
+   return schema-checked :class:`RunRecord` rows (JSON/CSV exportable);
+4. :mod:`repro.api.bench` — :func:`run_bench` executes the pinned perf
+   suite behind ``repro bench`` and the committed ``BENCH_core.json``;
+   :func:`compare_bench` is the CI regression gate.
 
 Typical use::
 
@@ -25,6 +28,15 @@ Typical use::
     print(result.summary())
 """
 
+from .bench import (
+    BENCH_SCHEMA,
+    BenchError,
+    bench_sweep,
+    calibrate,
+    compare_bench,
+    run_bench,
+    validate_bench,
+)
 from .experiment import (
     Cell,
     Experiment,
@@ -66,6 +78,13 @@ from .registry import (
 )
 
 __all__ = [
+    "BENCH_SCHEMA",
+    "BenchError",
+    "bench_sweep",
+    "calibrate",
+    "compare_bench",
+    "run_bench",
+    "validate_bench",
     "Cell",
     "Experiment",
     "ExperimentError",

@@ -1,0 +1,317 @@
+"""The pinned benchmark suite behind ``repro bench`` and ``BENCH_core.json``.
+
+This is the repo's persisted perf trajectory: :func:`run_bench` executes a
+*pinned* workload grid (fixed query, generator kinds, skews, seeds and
+server counts) through the sweep runner with full observability, and
+reduces it to a JSON document with three regression-gateable families of
+numbers per grid cell:
+
+* **wall-clock** — per-cell and total, plus a machine-speed
+  ``calibration_seconds`` (a fixed pure-Python workload timed on the same
+  interpreter) so CI can compare *normalized* wall-clock across runners;
+* **max-load vs the Theorem 3.6 lower bound** — the optimality gap, which
+  is deterministic for a pinned grid (hashing is seeded), so any drift is
+  a real behavior change;
+* **planner optimality gap** — the regret of the minimum-*predicted*-load
+  pick against the minimum-*measured*-load algorithm per cell.
+
+:func:`validate_bench` checks a document against :data:`BENCH_SCHEMA`
+(what CI runs over the emitted file); :func:`compare_bench` produces the
+list of regressions versus a committed baseline (empty = gate passes).
+The committed ``BENCH_core.json`` is refreshed with ``repro bench --quick
+--output BENCH_core.json``; its git history is the trajectory.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Mapping, Sequence
+
+from ..obs import Observation
+from .experiment import Sweep
+from .records import RunRecord
+
+
+class BenchError(ValueError):
+    """Raised when a bench document does not match :data:`BENCH_SCHEMA`."""
+
+
+#: The pinned workload grid.  Changing anything here invalidates baseline
+#: comparability — bump ``suite`` if you must.
+QUERY = "q(x, y, z) :- S1(x, z), S2(y, z)"
+FULL_GRID = {
+    "workload": "zipf",
+    "p_values": (8, 32),
+    "m_values": (400,),
+    "skews": (0.0, 1.0, 2.0),
+    "seeds": (0,),
+}
+QUICK_GRID = {
+    "workload": "zipf",
+    "p_values": (8,),
+    "m_values": (160,),
+    "skews": (0.0, 1.2),
+    "seeds": (0,),
+}
+
+#: top-level field -> (accepted types, nullable)
+BENCH_SCHEMA: Mapping[str, tuple[tuple[type, ...], bool]] = {
+    "schema_version": ((int,), False),
+    "suite": ((str,), False),
+    "quick": ((bool,), False),
+    "repeats": ((int,), False),
+    "query": ((str,), False),
+    "grid": ((dict,), False),
+    "calibration_seconds": ((int, float), False),
+    "entries": ((list,), False),
+    "summary": ((dict,), False),
+}
+
+_ENTRY_FIELDS: Mapping[str, tuple[tuple[type, ...], bool]] = {
+    "id": ((str,), False),
+    "algorithm": ((str,), False),
+    "workload": ((str,), False),
+    "p": ((int,), False),
+    "m": ((int,), False),
+    "skew": ((int, float), False),
+    "seed": ((int,), False),
+    "wall_seconds": ((int, float), False),
+    "max_load_bits": ((int, float), False),
+    "lower_bound_bits": ((int, float), False),
+    "optimality_gap": ((int, float), True),
+    "predicted_load_bits": ((int, float), False),
+}
+
+_SUMMARY_FIELDS = (
+    "total_wall_seconds",
+    "normalized_wall",
+    "mean_optimality_gap",
+    "max_optimality_gap",
+    "planner_mean_regret",
+    "planner_worst_regret",
+)
+
+
+def calibrate(rounds: int = 3) -> float:
+    """Seconds for a fixed pure-Python workload on this interpreter.
+
+    The denominator that makes wall-clock portable across machines: a
+    regression gate compares ``total_wall_seconds / calibration_seconds``,
+    so a uniformly slower CI runner does not read as a regression.
+    Best-of-``rounds`` to shed scheduler noise.
+    """
+    best = float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter()
+        acc = 0
+        for i in range(200_000):
+            acc += i * i % 7
+        best = min(best, time.perf_counter() - started)
+    # Guard against pathological clocks; the workload takes >1ms anywhere.
+    return max(best, 1e-4)
+
+
+def _entry_id(record: RunRecord) -> str:
+    return (
+        f"{record.workload}-m{record.m}-s{record.skew:g}-p{record.p}-"
+        f"{record.algorithm}"
+    )
+
+
+def _cell_key(record: RunRecord) -> tuple:
+    return (record.workload, record.m, record.skew, record.seed, record.p)
+
+
+def bench_sweep(quick: bool = False) -> Sweep:
+    """The pinned :class:`Sweep` (every applicable algorithm per cell)."""
+    grid = QUICK_GRID if quick else FULL_GRID
+    return Sweep(query=QUERY, algorithms="applicable", observe=True, **grid)
+
+
+def run_bench(
+    quick: bool = False,
+    obs: Observation | None = None,
+    repeats: int = 3,
+) -> dict:
+    """Execute the pinned grid; return the ``BENCH_core.json`` document.
+
+    Loads, gaps and regret are deterministic (seeded hashing), so one pass
+    suffices for them; wall-clock is not, so the grid runs ``repeats``
+    times and every timing is the best (minimum) across passes — the
+    standard way to shed scheduler noise from a sub-second suite.
+    """
+    if repeats < 1:
+        raise BenchError("run_bench needs repeats >= 1")
+    sweep = bench_sweep(quick=quick)
+    calibration = calibrate()
+    obs = obs if obs is not None else Observation.create()
+    result = None
+    total_wall = float("inf")
+    best_wall: dict[str, float] = {}
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = sweep.run(obs=obs)
+        total_wall = min(total_wall, time.perf_counter() - started)
+        for record in result.records:
+            entry_id = _entry_id(record)
+            best_wall[entry_id] = min(
+                best_wall.get(entry_id, float("inf")), record.wall_seconds
+            )
+
+    entries = []
+    for record in result.records:
+        entries.append({
+            "id": _entry_id(record),
+            "algorithm": record.algorithm,
+            "workload": record.workload,
+            "p": record.p,
+            "m": record.m,
+            "skew": record.skew,
+            "seed": record.seed,
+            "wall_seconds": best_wall[_entry_id(record)],
+            "max_load_bits": record.max_load_bits,
+            "lower_bound_bits": record.lower_bound_bits,
+            "optimality_gap": record.optimality_gap,
+            "predicted_load_bits": record.predicted_load_bits,
+        })
+
+    # Planner regret per cell: the planner's pick is the minimum-predicted
+    # record of the cell (exactly what `algorithms="auto"` would choose,
+    # since every applicable algorithm was measured); its measured load
+    # over the cell's best measured load is the regret.
+    regrets = []
+    by_cell: dict[tuple, list[RunRecord]] = {}
+    for record in result.records:
+        by_cell.setdefault(_cell_key(record), []).append(record)
+    for cell_records in by_cell.values():
+        picked = min(cell_records, key=lambda r: r.predicted_load_bits)
+        best = min(cell_records, key=lambda r: r.max_load_bits)
+        if best.max_load_bits > 0:
+            regrets.append(picked.max_load_bits / best.max_load_bits)
+    gaps = [e["optimality_gap"] for e in entries
+            if e["optimality_gap"] is not None]
+
+    grid = QUICK_GRID if quick else FULL_GRID
+    return {
+        "schema_version": 1,
+        "suite": "core",
+        "quick": quick,
+        "repeats": repeats,
+        "query": QUERY,
+        "grid": {key: list(value) if isinstance(value, tuple) else value
+                 for key, value in grid.items()},
+        "calibration_seconds": calibration,
+        "entries": entries,
+        "summary": {
+            "total_wall_seconds": total_wall,
+            "normalized_wall": total_wall / calibration,
+            "mean_optimality_gap": sum(gaps) / len(gaps) if gaps else 0.0,
+            "max_optimality_gap": max(gaps, default=0.0),
+            "planner_mean_regret":
+                sum(regrets) / len(regrets) if regrets else 1.0,
+            "planner_worst_regret": max(regrets, default=1.0),
+        },
+    }
+
+
+def validate_bench(data: object) -> None:
+    """Check a bench document against :data:`BENCH_SCHEMA`; raise
+    :class:`BenchError` on the first violation."""
+    if not isinstance(data, dict):
+        raise BenchError("bench document must be a JSON object")
+    for name, (types, nullable) in BENCH_SCHEMA.items():
+        if name not in data:
+            raise BenchError(f"bench document is missing field {name!r}")
+        value = data[name]
+        if value is None and not nullable:
+            raise BenchError(f"field {name!r} must not be null")
+        if isinstance(value, bool) and bool not in types:
+            raise BenchError(f"field {name!r} has type bool, wants {types}")
+        if value is not None and not isinstance(value, types):
+            raise BenchError(
+                f"field {name!r} has type {type(value).__name__}"
+            )
+    if not data["entries"]:
+        raise BenchError("bench document has no entries")
+    seen: set[str] = set()
+    for entry in data["entries"]:
+        if not isinstance(entry, dict):
+            raise BenchError("entries must be objects")
+        for name, (types, nullable) in _ENTRY_FIELDS.items():
+            if name not in entry:
+                raise BenchError(f"entry is missing field {name!r}")
+            value = entry[name]
+            if value is None:
+                if not nullable:
+                    raise BenchError(f"entry field {name!r} must not be null")
+                continue
+            if isinstance(value, bool) and bool not in types:
+                raise BenchError(f"entry field {name!r} has type bool")
+            if not isinstance(value, types):
+                raise BenchError(
+                    f"entry field {name!r} has type {type(value).__name__}"
+                )
+        if entry["id"] in seen:
+            raise BenchError(f"duplicate entry id {entry['id']!r}")
+        seen.add(entry["id"])
+    summary = data["summary"]
+    for name in _SUMMARY_FIELDS:
+        if not isinstance(summary.get(name), (int, float)):
+            raise BenchError(f"summary is missing numeric field {name!r}")
+
+
+def compare_bench(
+    baseline: Mapping, current: Mapping, max_regression: float = 0.20
+) -> list[str]:
+    """Regressions of ``current`` vs ``baseline``; empty list = gate passes.
+
+    Gates, each tolerating a relative ``max_regression`` (default 20%):
+
+    * normalized wall-clock (total wall over the machine calibration);
+    * per-entry optimality gap, on entries present in both documents
+      (deterministic for a pinned grid, so the tolerance only absorbs
+      float noise and generator tweaks);
+    * planner worst-case regret.
+
+    Comparing documents from different suites or grids is an error —
+    those numbers are not commensurable.
+    """
+    failures: list[str] = []
+    if baseline.get("suite") != current.get("suite"):
+        raise BenchError(
+            f"cannot compare suites {baseline.get('suite')!r} and "
+            f"{current.get('suite')!r}"
+        )
+    allowed = 1.0 + max_regression
+
+    base_wall = baseline["summary"]["normalized_wall"]
+    cur_wall = current["summary"]["normalized_wall"]
+    if base_wall > 0 and cur_wall > base_wall * allowed:
+        failures.append(
+            f"normalized wall-clock regressed {cur_wall / base_wall:.2f}x "
+            f"({cur_wall:.1f} vs baseline {base_wall:.1f} calibration units, "
+            f"tolerance {max_regression:.0%})"
+        )
+
+    base_entries = {e["id"]: e for e in baseline["entries"]}
+    shared = [e for e in current["entries"] if e["id"] in base_entries]
+    for entry in shared:
+        base_gap = base_entries[entry["id"]]["optimality_gap"]
+        gap = entry["optimality_gap"]
+        if base_gap is None or gap is None or base_gap <= 0:
+            continue
+        if gap > base_gap * allowed:
+            failures.append(
+                f"{entry['id']}: optimality gap regressed "
+                f"{gap / base_gap:.2f}x ({gap:.3f} vs baseline "
+                f"{base_gap:.3f})"
+            )
+
+    base_regret = baseline["summary"]["planner_worst_regret"]
+    cur_regret = current["summary"]["planner_worst_regret"]
+    if base_regret > 0 and cur_regret > base_regret * allowed:
+        failures.append(
+            f"planner worst regret regressed {cur_regret / base_regret:.2f}x "
+            f"({cur_regret:.3f} vs baseline {base_regret:.3f})"
+        )
+    return failures

@@ -20,9 +20,10 @@ another.
 
 from __future__ import annotations
 
+import logging
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from itertools import groupby, product
 from typing import Callable, Sequence
 
@@ -32,8 +33,10 @@ from ..data.generators import (
     uniform_relation,
     zipf_relation,
 )
+from ..mpc.engine.base import EngineError, available_engines
 from ..mpc.engine.multiprocess import pool_context
 from ..mpc.execution import run_one_round
+from ..obs import MetricsRegistry, Observation, Tracer, maybe_timed
 from ..query.atoms import ConjunctiveQuery
 from ..query.parser import parse_query
 from ..seq.relation import Database
@@ -41,6 +44,8 @@ from ..stats.heavy_hitters import HeavyHitterStatistics
 from .planner import plan
 from .records import RunRecord, records_to_csv, records_to_json
 from .registry import algorithm_keys, get_spec
+
+_LOG = logging.getLogger("repro.api.experiment")
 
 
 class ExperimentError(ValueError):
@@ -131,6 +136,7 @@ class Cell:
     compute_answers: bool = False
     verify: bool = False
     domain: int | None = None  # generator domain override (kind default else)
+    observe: bool = False      # collect a per-cell metrics block on the record
 
 
 def _coordinates(cell: Cell) -> tuple:
@@ -169,22 +175,51 @@ def _prepare(cells: Sequence[Cell]):
     return db, query_plan
 
 
-def _execute(cell: Cell, db: Database, query_plan) -> RunRecord:
-    """Run one cell's algorithm in a prepared context; build the record."""
+def _execute(
+    cell: Cell, db: Database, query_plan,
+    obs: Observation | None = None,
+) -> RunRecord:
+    """Run one cell's algorithm in a prepared context; build the record.
+
+    Observability: when the cell asks for it (``cell.observe``) or a
+    sweep-level ``obs`` is supplied, the round runs against a *fresh*
+    per-cell :class:`~repro.obs.MetricsRegistry` whose digest becomes the
+    record's ``metrics`` block; the per-cell registry is then folded into
+    the sweep-level one (counters add, histograms concatenate), so both
+    granularities stay exact.  Spans share the sweep tracer when there is
+    one.
+    """
     key = query_plan.chosen.key if cell.algorithm == "auto" else cell.algorithm
     prediction = query_plan.prediction(key)
     algorithm = query_plan.instantiate(key)
+    cell_obs: Observation | None = None
+    if cell.observe or obs is not None:
+        cell_obs = Observation(
+            tracer=obs.tracer if obs is not None else Tracer(),
+            metrics=MetricsRegistry(),
+        )
     started = time.perf_counter()
-    result = run_one_round(
-        algorithm,
-        db,
-        cell.p,
-        seed=cell.seed,
-        compute_answers=cell.compute_answers or cell.verify,
-        verify=cell.verify,
-        engine=cell.engine,
-    )
+    with maybe_timed(
+        cell_obs, "sweep.cell",
+        algorithm=key, engine=cell.engine, p=cell.p, m=cell.m,
+        skew=cell.skew, seed=cell.seed, workload=cell.workload,
+    ):
+        result = run_one_round(
+            algorithm,
+            db,
+            cell.p,
+            seed=cell.seed,
+            compute_answers=cell.compute_answers or cell.verify,
+            verify=cell.verify,
+            engine=cell.engine,
+            obs=cell_obs,
+        )
     wall = time.perf_counter() - started
+    metrics_block = None
+    if cell_obs is not None:
+        metrics_block = cell_obs.metrics.to_dict()
+        if obs is not None:
+            obs.metrics.merge(cell_obs.metrics)
     return RunRecord(
         query=cell.query,
         workload=cell.workload,
@@ -205,13 +240,26 @@ def _execute(cell: Cell, db: Database, query_plan) -> RunRecord:
         wall_seconds=wall,
         answer_count=result.answer_count,
         complete=result.is_complete,
+        metrics=metrics_block,
     )
+
+
+def _validate_engine(engine: str) -> None:
+    """Reject unknown engine names before any cell runs, with the list of
+    valid names — not as a traceback from the middle of a grid."""
+    if engine not in available_engines():
+        raise EngineError(
+            f"unknown execution engine {engine!r}; "
+            f"available: {', '.join(available_engines())}"
+        )
 
 
 def run_cell(cell: Cell) -> RunRecord:
     """Execute one cell end to end: generate, plan, run, record.
 
     Module-level (not a method) so process pools can ship it to workers.
+    A cell with ``observe=True`` carries its metrics digest back on the
+    record — the only channel a pool worker has.
     """
     db, query_plan = _prepare([cell])
     return _execute(cell, db, query_plan)
@@ -237,7 +285,7 @@ def _resolve_algorithms(
     if isinstance(algorithms, str):
         raise ExperimentError(
             f"algorithms must be 'auto', 'applicable', or a list of keys; "
-            f"got {algorithms!r}"
+            f"got {algorithms!r}; registered: {', '.join(algorithm_keys())}"
         )
     keys = tuple(algorithms)
     for key in keys:
@@ -321,6 +369,7 @@ class Experiment:
     engine: str = "batched"
     compute_answers: bool = False
     verify: bool = False
+    observe: bool = False      # attach a metrics block to every record
 
     def _query(self) -> ConjunctiveQuery:
         if isinstance(self.query, str):
@@ -329,6 +378,7 @@ class Experiment:
 
     def cells(self) -> list[Cell]:
         query = self._query()
+        _validate_engine(self.engine)
         return [
             Cell(
                 query=str(query),
@@ -342,17 +392,19 @@ class Experiment:
                 compute_answers=self.compute_answers,
                 verify=self.verify,
                 domain=self.workload.domain,
+                observe=self.observe,
             )
             for key in _resolve_algorithms(query, self.algorithms)
         ]
 
-    def run(self) -> list[RunRecord]:
+    def run(self, obs: Observation | None = None) -> list[RunRecord]:
         cells = self.cells()
         if not cells:
             return []
         # All cells share one workload x p point: build it once.
-        db, query_plan = _prepare(cells)
-        return [_execute(cell, db, query_plan) for cell in cells]
+        with maybe_timed(obs, "experiment.prepare", query=str(self.query)):
+            db, query_plan = _prepare(cells)
+        return [_execute(cell, db, query_plan, obs=obs) for cell in cells]
 
 
 @dataclass(frozen=True)
@@ -374,9 +426,11 @@ class Sweep:
     compute_answers: bool = False
     verify: bool = False
     domain: int | None = None
+    observe: bool = False      # attach a metrics block to every record
 
     def cells(self) -> list[Cell]:
         query = self._query()
+        _validate_engine(self.engine)
         keys = _resolve_algorithms(query, self.algorithms)
         # Validate the grid axes up front: a bad value must fail here,
         # not as a traceback from the middle of a half-finished run.
@@ -400,6 +454,7 @@ class Sweep:
                 compute_answers=self.compute_answers,
                 verify=self.verify,
                 domain=self.domain,
+                observe=self.observe,
             )
             for m, skew, seed, p, key in product(
                 self.m_values, self.skews, self.seeds, self.p_values, keys
@@ -416,6 +471,7 @@ class Sweep:
         max_workers: int | None = None,
         progress: Callable[[RunRecord], None] | None = None,
         cells: Sequence[Cell] | None = None,
+        obs: Observation | None = None,
     ) -> SweepResult:
         """Execute every cell; optionally farm them across processes.
 
@@ -431,27 +487,64 @@ class Sweep:
         completion order — handy for long sweeps.  ``cells`` accepts a
         precomputed :meth:`cells` result (callers that already built the
         list to inspect it need not rebuild it).
+
+        ``obs`` (an :class:`repro.obs.Observation`) turns on sweep-level
+        instrumentation: per-cell wall-clock and metric aggregation
+        in-process, plus queue wait and pool utilization when farming.
+        Pool workers cannot share the parent's registry, so their cells
+        are flipped to ``observe=True`` and their metrics travel back on
+        the records, where the parent folds them in.  Per-cell progress
+        is logged on the ``repro.api.experiment`` logger either way.
         """
         if cells is None:
             cells = self.cells()
         if not cells:
             raise ExperimentError("the sweep grid is empty")
         records: list[RunRecord] = []
+        total = len(cells)
+        done = 0
+
+        def _log_record(record: RunRecord) -> None:
+            _LOG.info(
+                "cell %d/%d: %s p=%d m=%d skew=%.2f seed=%d -> "
+                "%.0f bits (gap %s) in %.3fs",
+                done, total, record.algorithm, record.p, record.m,
+                record.skew, record.seed, record.max_load_bits,
+                "-" if record.optimality_gap is None
+                else format(record.optimality_gap, ".2f"),
+                record.wall_seconds,
+            )
+
         if max_workers is None or max_workers <= 1 or len(cells) == 1:
-            for _, group_iter in groupby(cells, key=_coordinates):
-                group = list(group_iter)
-                db, query_plan = _prepare(group)
-                for cell in group:
-                    record = _execute(cell, db, query_plan)
-                    if progress is not None:
-                        progress(record)
-                    records.append(record)
+            with maybe_timed(obs, "sweep.run", cells=total, workers=1):
+                for _, group_iter in groupby(cells, key=_coordinates):
+                    group = list(group_iter)
+                    with maybe_timed(
+                        obs, "sweep.prepare", cells=len(group)
+                    ):
+                        db, query_plan = _prepare(group)
+                    for cell in group:
+                        record = _execute(cell, db, query_plan, obs=obs)
+                        done += 1
+                        _log_record(record)
+                        if progress is not None:
+                            progress(record)
+                        records.append(record)
             return SweepResult(records=tuple(records))
+        workers = min(max_workers, len(cells))
+        if obs is not None:
+            # Workers cannot write to this process' registry; ship the
+            # request with each cell and read the digest off the record.
+            cells = [replace(cell, observe=True) for cell in cells]
         slots: list[RunRecord | None] = [None] * len(cells)
-        with ProcessPoolExecutor(
-            max_workers=min(max_workers, len(cells)),
-            mp_context=pool_context(),
-        ) as executor:
+        pool_started = time.perf_counter()
+        busy_seconds = 0.0
+        with maybe_timed(obs, "sweep.run", cells=total, workers=workers), \
+                ProcessPoolExecutor(
+                    max_workers=workers,
+                    mp_context=pool_context(),
+                ) as executor:
+            submitted = time.perf_counter()
             futures = {
                 executor.submit(run_cell, cell): index
                 for index, cell in enumerate(cells)
@@ -460,9 +553,35 @@ class Sweep:
             # an early cell is slow); records keep grid order regardless.
             for future in as_completed(futures):
                 record = future.result()
+                done += 1
+                if obs is not None:
+                    # Queue wait: time between submission and completion
+                    # not spent executing the round (it also covers the
+                    # worker's workload generation + planning, so it is
+                    # an upper bound on pure queueing).
+                    turnaround = time.perf_counter() - submitted
+                    wait = max(0.0, turnaround - record.wall_seconds)
+                    obs.observe("sweep.queue_wait.seconds", wait)
+                    busy_seconds += record.wall_seconds
+                    if record.metrics is not None:
+                        obs.metrics.merge_snapshot({
+                            "counters":
+                                record.metrics.get("counters", {}),
+                            "gauges": record.metrics.get("gauges", {}),
+                        })
+                    obs.observe("sweep.cell.seconds", record.wall_seconds)
+                _log_record(record)
                 slots[futures[future]] = record
                 if progress is not None:
                     progress(record)
+        if obs is not None:
+            elapsed = time.perf_counter() - pool_started
+            obs.set_gauge("sweep.pool_workers", workers)
+            if elapsed > 0:
+                obs.set_gauge(
+                    "sweep.pool_utilization",
+                    busy_seconds / (workers * elapsed),
+                )
         records = [record for record in slots if record is not None]
         return SweepResult(records=tuple(records))
 

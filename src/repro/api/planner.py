@@ -21,6 +21,7 @@ from typing import Iterable, Mapping
 
 from ..core.bounds import lower_bound
 from ..mpc.execution import OneRoundAlgorithm
+from ..obs import Observation, maybe_timed
 from ..query.atoms import ConjunctiveQuery
 from ..query.parser import parse_query
 from ..seq.relation import Database
@@ -170,6 +171,7 @@ def plan(
     p: int = 16,
     db: Database | None = None,
     algorithms: Iterable[str] | None = None,
+    obs: Observation | None = None,
 ) -> QueryPlan:
     """Rank registered algorithms on ``query`` by predicted max-load.
 
@@ -185,51 +187,73 @@ def plan(
         Number of servers.
     algorithms:
         Restrict the ranking to these registry keys (default: all).
+    obs:
+        An :class:`repro.obs.Observation`: times the plan build, the
+        Theorem 3.6 bound, and every ``applicability()``/
+        ``predicted_load_bits()`` cost-hook evaluation; counts
+        considered/applicable/inapplicable algorithms.  ``None`` (the
+        default) disables instrumentation.
     """
     if isinstance(query, str):
         query = parse_query(query)
-    stats = resolve_statistics(query, stats, p, db)
-    simple: SimpleStatistics = getattr(stats, "simple", stats)
-    bits = simple.bits_vector(query)
-    if p >= 2 and any(value > 0 for value in bits.values()):
-        bound_bits = lower_bound(query, bits, p).bits
-    else:
-        bound_bits = sum(bits.values())
+    with maybe_timed(obs, "plan.build", query=str(query), p=p):
+        stats = resolve_statistics(query, stats, p, db)
+        simple: SimpleStatistics = getattr(stats, "simple", stats)
+        bits = simple.bits_vector(query)
+        with maybe_timed(obs, "plan.lower_bound"):
+            if p >= 2 and any(value > 0 for value in bits.values()):
+                bound_bits = lower_bound(query, bits, p).bits
+            else:
+                bound_bits = sum(bits.values())
 
-    ranked: list[tuple[float, int, Prediction]] = []
-    inapplicable: list[Prediction] = []
-    built: dict[str, OneRoundAlgorithm] = {}
-    for order, spec in enumerate(algorithm_specs(algorithms)):
-        reason = spec.applicability(query)
-        if reason is not None:
-            inapplicable.append(Prediction(
+        ranked: list[tuple[float, int, Prediction]] = []
+        inapplicable: list[Prediction] = []
+        built: dict[str, OneRoundAlgorithm] = {}
+        for order, spec in enumerate(algorithm_specs(algorithms)):
+            if obs is not None:
+                obs.count("planner.algorithms_considered")
+            with maybe_timed(obs, "plan.applicability", algorithm=spec.key):
+                reason = spec.applicability(query)
+            if reason is not None:
+                if obs is not None:
+                    obs.count("planner.inapplicable")
+                inapplicable.append(Prediction(
+                    key=spec.key,
+                    summary=spec.summary,
+                    applicable=False,
+                    reason=reason,
+                ))
+                continue
+            if obs is not None:
+                obs.count("planner.applicable")
+            with maybe_timed(obs, "plan.cost", algorithm=spec.key):
+                algorithm = spec.build(query, stats, p)
+                built[spec.key] = algorithm
+                predicted = algorithm.predicted_load_bits(stats, p)
+            if not math.isfinite(predicted) or predicted < 0:
+                raise PlanError(
+                    f"algorithm {spec.key!r} predicted a non-finite load "
+                    f"({predicted!r}) on {query.name!r}"
+                )
+            if obs is not None:
+                obs.set_gauge(
+                    f"planner.predicted_load_bits.{spec.key}", predicted
+                )
+            ranked.append((predicted, order, Prediction(
                 key=spec.key,
                 summary=spec.summary,
-                applicable=False,
-                reason=reason,
-            ))
-            continue
-        algorithm = spec.build(query, stats, p)
-        built[spec.key] = algorithm
-        predicted = algorithm.predicted_load_bits(stats, p)
-        if not math.isfinite(predicted) or predicted < 0:
+                applicable=True,
+                predicted_load_bits=predicted,
+                lower_bound_bits=bound_bits,
+            )))
+        ranked.sort(key=lambda item: (item[0], item[1]))
+        predictions = tuple(pr for _, _, pr in ranked) + tuple(inapplicable)
+        if not any(pr.applicable for pr in predictions):
             raise PlanError(
-                f"algorithm {spec.key!r} predicted a non-finite load "
-                f"({predicted!r}) on {query.name!r}"
+                f"no registered algorithm is applicable to {query.name!r}"
             )
-        ranked.append((predicted, order, Prediction(
-            key=spec.key,
-            summary=spec.summary,
-            applicable=True,
-            predicted_load_bits=predicted,
-            lower_bound_bits=bound_bits,
-        )))
-    ranked.sort(key=lambda item: (item[0], item[1]))
-    predictions = tuple(pr for _, _, pr in ranked) + tuple(inapplicable)
-    if not any(pr.applicable for pr in predictions):
-        raise PlanError(
-            f"no registered algorithm is applicable to {query.name!r}"
-        )
+        if obs is not None:
+            obs.set_gauge("planner.lower_bound_bits", bound_bits)
     return QueryPlan(
         query=query,
         p=p,

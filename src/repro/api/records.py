@@ -46,6 +46,11 @@ class RunRecord:
     wall_seconds: float
     answer_count: int | None = None   # None when answers were skipped
     complete: bool | None = None      # None without verification
+    # --- observability -------------------------------------------------
+    #: a :meth:`repro.obs.MetricsRegistry.to_dict` digest for this cell
+    #: (tuples routed, bits shipped per relation, per-server load
+    #: histogram, phase timings); None when the cell ran unobserved.
+    metrics: Mapping[str, object] | None = None
 
     @property
     def optimality_gap(self) -> float | None:
@@ -97,6 +102,7 @@ RUN_RECORD_SCHEMA: Mapping[str, tuple[tuple[type, ...], bool]] = {
     "wall_seconds": ((int, float), False),
     "answer_count": ((int,), True),
     "complete": ((bool,), True),
+    "metrics": ((dict,), True),
     "optimality_gap": ((int, float), True),
     "prediction_error": ((int, float), True),
 }
@@ -148,12 +154,19 @@ def records_from_json(text: str) -> list[RunRecord]:
 
 
 def records_to_csv(records: Sequence[RunRecord]) -> str:
-    """CSV with the schema's column order; ``None`` renders empty."""
+    """CSV with the schema's column order; ``None`` renders empty.
+
+    The nested ``metrics`` block is embedded as one compact-JSON cell so
+    the CSV stays flat yet lossless.
+    """
     buffer = io.StringIO()
     writer = csv.DictWriter(buffer, fieldnames=RUN_RECORD_FIELDS)
     writer.writeheader()
     for record in records:
         row = record.to_dict()
+        if row.get("metrics") is not None:
+            row["metrics"] = json.dumps(row["metrics"],
+                                        separators=(",", ":"))
         writer.writerow({
             name: ("" if row[name] is None else row[name])
             for name in RUN_RECORD_FIELDS

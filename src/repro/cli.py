@@ -1,6 +1,6 @@
-"""Command-line interface: bounds, planning, racing and sweeping.
+"""Command-line interface: bounds, planning, racing, sweeping, benching.
 
-Five subcommands::
+Six subcommands::
 
     python -m repro bounds "q(x,y,z) :- S1(x,z), S2(y,z)" \
         --cardinality S1=4096 --cardinality S2=1024 --domain 100000 -p 64
@@ -14,6 +14,8 @@ Five subcommands::
     python -m repro sweep "q(x,y,z) :- S1(x,z), S2(y,z)" \
         --workload zipf --skew 0.0,1.5 --p 8,32 --format csv
 
+    python -m repro bench --quick --baseline BENCH_core.json
+
     python -m repro packings "C3(x,y,z) :- R(x,y), S(y,z), T(z,x)"
 
 ``bounds`` prints the share LP solution, the packing-vertex table and the
@@ -21,14 +23,24 @@ optimal load; ``plan`` ranks every registered algorithm by predicted load
 (the :mod:`repro.api` planner) without running anything; ``race`` runs the
 applicable algorithms on a generated workload, predicted next to measured;
 ``sweep`` executes a full ``p x skew x m x algorithm`` grid through the
-execution engines and emits schema-checked JSON/CSV records; ``packings``
-prints ``pk(q)``, ``tau*`` and the cover numbers.
+execution engines and emits schema-checked JSON/CSV records; ``bench``
+runs the pinned perf suite into ``BENCH_core.json`` and gates regressions;
+``packings`` prints ``pk(q)``, ``tau*`` and the cover numbers.
+
+Observability: ``race``, ``sweep`` and ``bench`` accept ``--trace FILE``
+(write a Chrome-trace JSON of the run's nested spans — open it at
+``chrome://tracing``) and ``--metrics`` (print the metrics registry:
+tuples routed, bits shipped per relation, per-server load histogram,
+skew ratio, per-cell timings).  Progress and status go through stdlib
+``logging`` on the ``repro.*`` loggers — ``-v/--verbose`` for debug
+detail, ``-q/--quiet`` for warnings only; payload output stays on stdout.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import logging
 import sys
 from typing import Callable, Sequence
 
@@ -38,6 +50,8 @@ from .api import (
     WorkloadSpec,
     plan as build_plan,
 )
+from .api.bench import compare_bench, run_bench, validate_bench
+from .obs import Observation
 from .core import (
     fractional_edge_cover_number,
     fractional_vertex_cover_number,
@@ -52,6 +66,57 @@ from .mpc import available_engines, run_one_round
 from .query import ConjunctiveQuery, parse_query
 from .seq import Database
 from .stats import HeavyHitterStatistics, SimpleStatistics
+
+_LOG = logging.getLogger("repro.cli")
+
+
+def _configure_logging(args: argparse.Namespace) -> None:
+    """Wire the ``repro`` logger hierarchy to stderr.
+
+    ``-q`` shows warnings only, ``-v`` adds debug detail, the default is
+    progress at INFO.  Idempotent: re-invocations (tests calling
+    :func:`main` repeatedly) reuse the handler and just adjust levels.
+    """
+    if getattr(args, "quiet", False):
+        level = logging.WARNING
+    elif getattr(args, "verbose", False):
+        level = logging.DEBUG
+    else:
+        level = logging.INFO
+    root = logging.getLogger("repro")
+    if not root.handlers:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(logging.Formatter("%(message)s"))
+        root.addHandler(handler)
+    root.setLevel(level)
+    root.propagate = False
+
+
+def _make_observation(args: argparse.Namespace) -> Observation | None:
+    """An :class:`Observation` when ``--trace``/``--metrics`` asked for one."""
+    if getattr(args, "trace", None) or getattr(args, "metrics", False):
+        return Observation.create()
+    return None
+
+
+def _finish_observation(
+    args: argparse.Namespace, obs: Observation | None
+) -> None:
+    """Print the metrics table and/or write the Chrome trace file."""
+    if obs is None:
+        return
+    if getattr(args, "metrics", False):
+        print()
+        print(obs.metrics.render())
+    trace_path = getattr(args, "trace", None)
+    if trace_path:
+        with open(trace_path, "w", encoding="utf-8") as handle:
+            handle.write(obs.tracer.to_json())
+            handle.write("\n")
+        _LOG.info(
+            "wrote %d trace spans to %s (open at chrome://tracing)",
+            len(obs.tracer.spans), trace_path,
+        )
 
 
 def _parse_cardinalities(pairs: Sequence[str]) -> dict[str, int]:
@@ -175,9 +240,10 @@ def cmd_plan(args: argparse.Namespace) -> int:
 
 def cmd_race(args: argparse.Namespace) -> int:
     query = parse_query(args.query)
+    obs = _make_observation(args)
     db = _make_workload(query, args.workload, args.m, args.skew, args.seed)
     stats = HeavyHitterStatistics.of(query, db, args.p)
-    query_plan = build_plan(query, stats, args.p)
+    query_plan = build_plan(query, stats, args.p, obs=obs)
 
     print(f"query: {query}")
     print(f"workload: {args.workload} (m={args.m}, skew={args.skew}), "
@@ -190,7 +256,7 @@ def cmd_race(args: argparse.Namespace) -> int:
         algorithm = query_plan.instantiate(prediction.key)
         result = run_one_round(
             algorithm, db, args.p, seed=args.seed, verify=args.verify,
-            engine=args.engine,
+            engine=args.engine, obs=obs,
         )
         complete = "-" if result.is_complete is None else str(result.is_complete)
         print(
@@ -203,6 +269,7 @@ def cmd_race(args: argparse.Namespace) -> int:
     if skipped:
         print("\nnot applicable: "
               + "; ".join(f"{pr.key} ({pr.reason})" for pr in skipped))
+    _finish_observation(args, obs)
     return 0
 
 
@@ -212,6 +279,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         algorithms = args.algorithms
     else:
         algorithms = _parse_grid(args.algorithms, str, "--algorithms")
+    obs = _make_observation(args)
     sweep = Sweep(
         query=args.query,
         workload=args.workload,
@@ -222,15 +290,16 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         algorithms=algorithms,
         engine=args.engine,
         verify=args.verify,
+        observe=args.metrics,
     )
     try:
         cells = sweep.cells()
     except ValueError as exc:
         raise SystemExit(str(exc)) from None
-    print(f"sweep: {len(cells)} cells, engine={args.engine}, "
-          f"workers={args.workers}", file=sys.stderr)
+    _LOG.info("sweep: %d cells, engine=%s, workers=%s",
+              len(cells), args.engine, args.workers)
     try:
-        result = sweep.run(max_workers=args.workers, cells=cells)
+        result = sweep.run(max_workers=args.workers, cells=cells, obs=obs)
     except ValueError as exc:
         raise SystemExit(str(exc)) from None
     if args.format == "json":
@@ -246,7 +315,57 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             handle.write(payload)
             if not payload.endswith("\n"):
                 handle.write("\n")
-        print(f"wrote {len(result)} records to {args.output}", file=sys.stderr)
+        _LOG.info("wrote %d records to %s", len(result), args.output)
+    _finish_observation(args, obs)
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    obs = _make_observation(args) or Observation.create()
+    _LOG.info("bench: running the pinned core suite%s",
+              " (quick grid)" if args.quick else "")
+    document = run_bench(quick=args.quick, obs=obs)
+    validate_bench(document)
+    summary = document["summary"]
+    _LOG.info(
+        "bench: %d entries in %.2fs (%.1f calibration units), "
+        "max optimality gap %.3f, planner worst regret %.3f",
+        len(document["entries"]), summary["total_wall_seconds"],
+        summary["normalized_wall"], summary["max_optimality_gap"],
+        summary["planner_worst_regret"],
+    )
+
+    failures: list[str] = []
+    if args.baseline:
+        try:
+            with open(args.baseline, "r", encoding="utf-8") as handle:
+                baseline = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise SystemExit(f"cannot read baseline {args.baseline}: {exc}")
+        try:
+            validate_bench(baseline)
+            failures = compare_bench(
+                baseline, document, max_regression=args.max_regression
+            )
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from None
+
+    if args.output == "-":
+        print(json.dumps(document, indent=2))
+    else:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2)
+            handle.write("\n")
+        _LOG.info("wrote bench document to %s", args.output)
+
+    _finish_observation(args, obs)
+    if failures:
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        return 1
+    if args.baseline:
+        _LOG.info("bench: no regressions vs %s (tolerance %.0f%%)",
+                  args.baseline, args.max_regression * 100)
     return 0
 
 
@@ -256,6 +375,23 @@ def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--skew", type=float, default=1.0)
     parser.add_argument("-m", type=int, default=1000)
     parser.add_argument("--seed", type=int, default=0)
+
+
+def _add_logging_arguments(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument("-v", "--verbose", action="store_true",
+                       help="debug-level progress on stderr")
+    group.add_argument("-q", "--quiet", action="store_true",
+                       help="warnings only on stderr")
+
+
+def _add_observability_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace", metavar="FILE", default=None,
+                        help="write a Chrome-trace JSON of the run's spans "
+                             "(open at chrome://tracing)")
+    parser.add_argument("--metrics", action="store_true",
+                        help="collect and print the metrics registry "
+                             "(tuples routed, bits shipped, load histogram)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -306,6 +442,8 @@ def build_parser() -> argparse.ArgumentParser:
                            "(vectorized, default), reference (tuple-at-a-time "
                            "parity oracle), mp (multiprocessing shards); all "
                            "return identical answers and loads")
+    _add_observability_arguments(race)
+    _add_logging_arguments(race)
     race.set_defaults(func=cmd_race)
 
     sweep = sub.add_parser(
@@ -336,13 +474,35 @@ def build_parser() -> argparse.ArgumentParser:
                        help="farm cells across N worker processes")
     sweep.add_argument("--output", default=None,
                        help="write records to this file instead of stdout")
+    _add_observability_arguments(sweep)
+    _add_logging_arguments(sweep)
     sweep.set_defaults(func=cmd_sweep)
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the pinned perf suite; emit/gate BENCH_core.json",
+    )
+    bench.add_argument("--quick", action="store_true",
+                       help="run the reduced grid (what CI runs)")
+    bench.add_argument("--output", default="BENCH_core.json",
+                       help="bench document destination ('-' for stdout; "
+                            "default %(default)s)")
+    bench.add_argument("--baseline", default=None,
+                       help="compare against this committed bench document "
+                            "and exit 1 on regressions")
+    bench.add_argument("--max-regression", type=float, default=0.20,
+                       help="relative tolerance for the regression gates "
+                            "(default %(default)s)")
+    _add_observability_arguments(bench)
+    _add_logging_arguments(bench)
+    bench.set_defaults(func=cmd_bench)
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    _configure_logging(args)
     return args.func(args)
 
 

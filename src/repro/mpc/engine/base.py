@@ -12,14 +12,26 @@ engine; new engines should be added to :data:`ENGINES` and that test suite.
 Bit-identity is achievable because all load accounting computes per-server
 bits as ``received_count * tuple_bits`` per relation, folded in the query's
 atom order — never as an order-dependent running float sum.
+
+Observability hooks on :meth:`ExecutionEngine.run`: ``run`` is a template
+method — it opens the ``engine.run`` span, delegates to the
+engine-specific :meth:`ExecutionEngine._run`, then records the standard
+result metrics (tuples routed, bits shipped, per-server load histogram,
+skew ratio) every engine must agree on.  With ``obs=None`` (the default)
+the template is a plain delegation and no instrument is touched, so
+disabled observability is free.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING
 
 from ...seq.relation import Database
 from ..execution import ExecutionResult, OneRoundAlgorithm
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ...obs import Observation
 
 
 class EngineError(ValueError):
@@ -32,7 +44,6 @@ class ExecutionEngine(ABC):
     #: Registry key and CLI spelling of the engine.
     name: str = "abstract"
 
-    @abstractmethod
     def run(
         self,
         algorithm: OneRoundAlgorithm,
@@ -41,8 +52,65 @@ class ExecutionEngine(ABC):
         seed: int = 0,
         compute_answers: bool = True,
         verify: bool = False,
+        obs: "Observation | None" = None,
     ) -> ExecutionResult:
-        """Simulate one round; see :func:`repro.mpc.run_one_round`."""
+        """Simulate one round; see :func:`repro.mpc.run_one_round`.
+
+        ``obs`` (an :class:`repro.obs.Observation`) enables tracing and
+        metrics for the round; the engine-independent result metrics are
+        recorded here so every engine reports them identically.
+        """
+        if obs is None:
+            return self._run(algorithm, db, p, seed, compute_answers, verify,
+                             None)
+        with obs.timed(
+            "engine.run",
+            engine=self.name, algorithm=algorithm.name, p=p, seed=seed,
+        ):
+            result = self._run(
+                algorithm, db, p, seed, compute_answers, verify, obs
+            )
+        self._record_result_metrics(obs, result)
+        return result
+
+    @abstractmethod
+    def _run(
+        self,
+        algorithm: OneRoundAlgorithm,
+        db: Database,
+        p: int,
+        seed: int,
+        compute_answers: bool,
+        verify: bool,
+        obs: "Observation | None",
+    ) -> ExecutionResult:
+        """Engine-specific round simulation (``obs`` may be None)."""
+
+    @staticmethod
+    def _record_result_metrics(
+        obs: "Observation", result: ExecutionResult
+    ) -> None:
+        """The engine-independent metrics of a finished round.
+
+        Everything here is a pure function of the (engine-independent)
+        :class:`~repro.mpc.cluster.LoadReport`, so
+        ``tests/test_obs_integration.py`` can require exact agreement
+        across engines on a fixed seed.
+        """
+        report = result.report
+        metrics = obs.metrics
+        metrics.counter("engine.input_tuples").inc(report.input_tuples)
+        metrics.counter("engine.input_bits").inc(report.input_bits)
+        metrics.counter("engine.routed_tuples").inc(report.total_tuples)
+        metrics.counter("engine.shipped_bits").inc(report.total_bits)
+        load = metrics.histogram("engine.server_load_bits")
+        load.extend(report.per_server_bits)
+        metrics.gauge("engine.max_load_bits").set(report.max_load_bits)
+        metrics.gauge("engine.max_load_tuples").set(report.max_load_tuples)
+        metrics.gauge("engine.skew_ratio").set(report.balance)
+        metrics.gauge("engine.replication_rate").set(report.replication_rate)
+        if result.answers is not None:
+            metrics.counter("engine.answers").inc(len(result.answers))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(name={self.name!r})"

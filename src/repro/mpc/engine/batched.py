@@ -23,7 +23,9 @@ cluster, so the two engines agree bit for bit.
 from __future__ import annotations
 
 from collections import Counter
+from typing import TYPE_CHECKING
 
+from ...obs import maybe_timed
 from ...seq.join import evaluate, local_join
 from ...seq.relation import Database, Tuple
 from ..cluster import LoadReport
@@ -31,27 +33,32 @@ from ..execution import ExecutionResult, OneRoundAlgorithm
 from ..hashing import HashFamily
 from .base import ExecutionEngine
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ...obs import Observation
+
 
 class BatchedEngine(ExecutionEngine):
     """Batch routing; streams loads without fragments when answers are off."""
 
     name = "batched"
 
-    def run(
+    def _run(
         self,
         algorithm: OneRoundAlgorithm,
         db: Database,
         p: int,
-        seed: int = 0,
-        compute_answers: bool = True,
-        verify: bool = False,
+        seed: int,
+        compute_answers: bool,
+        verify: bool,
+        obs: "Observation | None",
     ) -> ExecutionResult:
         if p < 1:
             raise ValueError("cluster needs at least one server")
         query = algorithm.query
         db.validate_against(query)
         hashes = HashFamily(seed)
-        plan = algorithm.routing_plan(db, p, hashes)
+        with maybe_timed(obs, "engine.plan_build", algorithm=algorithm.name):
+            plan = algorithm.routing_plan(db, p, hashes)
 
         per_server_tuples = [0] * p
         per_server_bits = [0.0] * p
@@ -69,35 +76,48 @@ class BatchedEngine(ExecutionEngine):
             input_bits += relation.bits
             tuples = list(relation.tuples)
 
-            if fragments is None:
-                counts = plan.destination_counts(atom.name, tuples)
-                for server, count in counts.items():
-                    per_server_tuples[server] += count
-                    per_server_bits[server] += count * tuple_bits
-            else:
-                name = atom.name
-                destinations = plan.destinations_batch(atom.name, tuples)
-                rel_counts: Counter[int] = Counter()
-                for tup, dests in zip(tuples, destinations):
-                    tup = interned.setdefault(tup, tup)
-                    for server in dests:
-                        fragments[server].setdefault(name, set()).add(tup)
-                    rel_counts.update(dests)
-                for server, count in rel_counts.items():
-                    per_server_tuples[server] += count
-                    per_server_bits[server] += count * tuple_bits
+            with maybe_timed(obs, "engine.route", relation=atom.name):
+                if fragments is None:
+                    counts = plan.destination_counts(atom.name, tuples)
+                    routed = 0
+                    for server, count in counts.items():
+                        per_server_tuples[server] += count
+                        per_server_bits[server] += count * tuple_bits
+                        routed += count
+                else:
+                    name = atom.name
+                    destinations = plan.destinations_batch(atom.name, tuples)
+                    rel_counts: Counter[int] = Counter()
+                    for tup, dests in zip(tuples, destinations):
+                        tup = interned.setdefault(tup, tup)
+                        for server in dests:
+                            fragments[server].setdefault(name, set()).add(tup)
+                        rel_counts.update(dests)
+                    routed = 0
+                    for server, count in rel_counts.items():
+                        per_server_tuples[server] += count
+                        per_server_bits[server] += count * tuple_bits
+                        routed += count
+            if obs is not None:
+                obs.count(f"engine.routed_tuples.{atom.name}", routed)
+                obs.count(f"engine.shipped_bits.{atom.name}",
+                          routed * tuple_bits)
 
         answers: frozenset[Tuple] | None = None
         if fragments is not None:
             collected: set[Tuple] = set()
-            for server_fragments in fragments:
-                if server_fragments:
-                    collected |= local_join(
-                        query, server_fragments, db.domain_size
-                    )
+            with maybe_timed(obs, "engine.local_join"):
+                for server_fragments in fragments:
+                    if server_fragments:
+                        collected |= local_join(
+                            query, server_fragments, db.domain_size
+                        )
             answers = frozenset(collected)
 
-        expected = evaluate(query, db) if verify else None
+        expected = None
+        if verify:
+            with maybe_timed(obs, "engine.verify"):
+                expected = evaluate(query, db)
         return ExecutionResult(
             algorithm=algorithm.name,
             query=query,

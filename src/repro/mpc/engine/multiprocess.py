@@ -13,6 +13,12 @@ The round is simulated in two parallel phases over a worker pool:
 2. **Local joins** — the nonempty servers are sharded across the same pool;
    each worker joins its servers' fragments and the answer sets are unioned.
 
+When observing (``obs`` not None), each worker snapshots its own metrics
+(chunk routing/join wall clock, tuples per chunk) as plain dicts; the
+parent folds them into the round's :class:`~repro.obs.MetricsRegistry`
+via ``merge_snapshot`` — counters add and histogram values concatenate,
+so per-worker timings aggregate exactly.
+
 The routing plan is shipped to the workers once via the pool initializer.
 Worker processes use the ``fork`` start method when the platform offers it
 (cheapest; the plan is inherited), falling back to the default method
@@ -25,8 +31,10 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-from typing import Sequence
+import time
+from typing import TYPE_CHECKING, Sequence
 
+from ...obs import maybe_timed
 from ...query.atoms import ConjunctiveQuery
 from ...seq.join import evaluate, local_join
 from ...seq.relation import Database, Tuple
@@ -35,6 +43,9 @@ from ..execution import ExecutionResult, OneRoundAlgorithm, RoutingPlan
 from ..hashing import HashFamily
 from .base import ExecutionEngine
 from .batched import BatchedEngine
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ...obs import Observation
 
 def pool_context():
     """Fork-first multiprocessing context (fork inherits routing plans and
@@ -55,19 +66,23 @@ def _init_worker(
     query: ConjunctiveQuery,
     domain_size: int,
     compute_answers: bool,
+    observe: bool = False,
 ) -> None:
     _STATE["plan"] = plan
     _STATE["query"] = query
     _STATE["domain_size"] = domain_size
     _STATE["compute_answers"] = compute_answers
+    _STATE["observe"] = observe
 
 
 def _route_chunk(
     task: tuple[str, Sequence[Tuple]]
-) -> tuple[str, dict[int, int], dict[int, list[Tuple]]]:
-    """Route one chunk of one relation: (relation, counts, fragment slices)."""
+) -> tuple[str, dict[int, int], dict[int, list[Tuple]], dict | None]:
+    """Route one chunk of one relation: (relation, counts, fragment slices,
+    worker metrics snapshot or None)."""
     relation_name, tuples = task
     plan: RoutingPlan = _STATE["plan"]  # type: ignore[assignment]
+    started = time.perf_counter() if _STATE.get("observe") else None
     fragments: dict[int, list[Tuple]] = {}
     if _STATE["compute_answers"]:
         counts: dict[int, int] = {}
@@ -79,19 +94,40 @@ def _route_chunk(
                 fragments.setdefault(server, []).append(tup)
     else:
         counts = dict(plan.destination_counts(relation_name, tuples))
-    return relation_name, counts, fragments
+    snapshot = None
+    if started is not None:
+        # A plain-dict MetricsRegistry.merge_snapshot payload: picklable,
+        # and aggregated exactly in the parent (counters add, histogram
+        # values concatenate).
+        snapshot = {
+            "counters": {"mp.route_chunks": 1, "mp.route_tuples": len(tuples)},
+            "histograms": {
+                "mp.worker_route.seconds": [time.perf_counter() - started],
+            },
+        }
+    return relation_name, counts, fragments, snapshot
 
 
 def _join_chunk(
     server_fragments: Sequence[dict[str, set[Tuple]]]
-) -> set[Tuple]:
+) -> tuple[set[Tuple], dict | None]:
     """Join the fragments of a shard of servers and union their answers."""
     query: ConjunctiveQuery = _STATE["query"]  # type: ignore[assignment]
     domain_size: int = _STATE["domain_size"]  # type: ignore[assignment]
+    started = time.perf_counter() if _STATE.get("observe") else None
     collected: set[Tuple] = set()
     for fragments in server_fragments:
         collected |= local_join(query, fragments, domain_size)
-    return collected
+    snapshot = None
+    if started is not None:
+        snapshot = {
+            "counters": {"mp.join_chunks": 1,
+                         "mp.join_servers": len(server_fragments)},
+            "histograms": {
+                "mp.worker_join.seconds": [time.perf_counter() - started],
+            },
+        }
+    return collected, snapshot
 
 
 def _chunks(items: list, pieces: int) -> list[list]:
@@ -127,27 +163,28 @@ class MultiprocessEngine(ExecutionEngine):
     def _context():
         return pool_context()
 
-    def run(
+    def _run(
         self,
         algorithm: OneRoundAlgorithm,
         db: Database,
         p: int,
-        seed: int = 0,
-        compute_answers: bool = True,
-        verify: bool = False,
+        seed: int,
+        compute_answers: bool,
+        verify: bool,
+        obs: "Observation | None",
     ) -> ExecutionResult:
         workers = self._resolved_workers()
         if workers == 1:
-            return BatchedEngine().run(
-                algorithm, db, p,
-                seed=seed, compute_answers=compute_answers, verify=verify,
+            return BatchedEngine()._run(
+                algorithm, db, p, seed, compute_answers, verify, obs,
             )
         if p < 1:
             raise ValueError("cluster needs at least one server")
         query = algorithm.query
         db.validate_against(query)
         hashes = HashFamily(seed)
-        plan = algorithm.routing_plan(db, p, hashes)
+        with maybe_timed(obs, "engine.plan_build", algorithm=algorithm.name):
+            plan = algorithm.routing_plan(db, p, hashes)
 
         tasks: list[tuple[str, list[Tuple]]] = []
         input_tuples = 0
@@ -164,51 +201,71 @@ class MultiprocessEngine(ExecutionEngine):
             pool = ctx.Pool(
                 processes=workers,
                 initializer=_init_worker,
-                initargs=(plan, query, db.domain_size, compute_answers),
+                initargs=(plan, query, db.domain_size, compute_answers,
+                          obs is not None),
             )
         except OSError:
             # No processes available (restricted sandboxes): same results,
             # computed in-process.  Errors *during* the parallel phases are
             # real failures and propagate.
-            return BatchedEngine().run(
-                algorithm, db, p,
-                seed=seed, compute_answers=compute_answers, verify=verify,
+            return BatchedEngine()._run(
+                algorithm, db, p, seed, compute_answers, verify, obs,
             )
+        if obs is not None:
+            obs.set_gauge("mp.workers", workers)
+            obs.count("mp.pools_opened")
         with pool:
-            routed = pool.map(_route_chunk, tasks) if tasks else []
+            with maybe_timed(obs, "engine.route", chunks=len(tasks)):
+                routed = pool.map(_route_chunk, tasks) if tasks else []
 
             counts_by_relation: dict[str, dict[int, int]] = {}
             fragments: list[dict[str, set[Tuple]]] = [{} for _ in range(p)]
-            for relation_name, counts, chunk_fragments in routed:
-                merged = counts_by_relation.setdefault(relation_name, {})
-                for server, count in counts.items():
-                    merged[server] = merged.get(server, 0) + count
-                for server, tuples in chunk_fragments.items():
-                    fragments[server].setdefault(
-                        relation_name, set()
-                    ).update(tuples)
+            with maybe_timed(obs, "engine.shuffle_merge"):
+                for relation_name, counts, chunk_fragments, snap in routed:
+                    merged = counts_by_relation.setdefault(relation_name, {})
+                    for server, count in counts.items():
+                        merged[server] = merged.get(server, 0) + count
+                    for server, tuples in chunk_fragments.items():
+                        fragments[server].setdefault(
+                            relation_name, set()
+                        ).update(tuples)
+                    if obs is not None and snap is not None:
+                        obs.metrics.merge_snapshot(snap)
 
             answers: frozenset[Tuple] | None = None
             if compute_answers:
                 occupied = [frag for frag in fragments if frag]
                 collected: set[Tuple] = set()
-                for joined in pool.map(
-                    _join_chunk, _chunks(occupied, workers)
-                ):
-                    collected |= joined
+                with maybe_timed(obs, "engine.local_join"):
+                    for joined, snap in pool.map(
+                        _join_chunk, _chunks(occupied, workers)
+                    ):
+                        collected |= joined
+                        if obs is not None and snap is not None:
+                            obs.metrics.merge_snapshot(snap)
                 answers = frozenset(collected)
 
         per_server_tuples = [0] * p
         per_server_bits = [0.0] * p
         for atom in query.atoms:
             tuple_bits = db.relation(atom.name).tuple_bits
+            routed_relation = 0
             for server, count in sorted(
                 counts_by_relation.get(atom.name, {}).items()
             ):
                 per_server_tuples[server] += count
                 per_server_bits[server] += count * tuple_bits
+                routed_relation += count
+            if obs is not None:
+                obs.count(f"engine.routed_tuples.{atom.name}",
+                          routed_relation)
+                obs.count(f"engine.shipped_bits.{atom.name}",
+                          routed_relation * tuple_bits)
 
-        expected = evaluate(query, db) if verify else None
+        expected = None
+        if verify:
+            with maybe_timed(obs, "engine.verify"):
+                expected = evaluate(query, db)
         return ExecutionResult(
             algorithm=algorithm.name,
             query=query,

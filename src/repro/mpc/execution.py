@@ -35,6 +35,7 @@ from .cluster import LoadReport
 from .hashing import HashFamily
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..obs import Observation
     from .engine import ExecutionEngine
 
 
@@ -249,6 +250,7 @@ def run_one_round(
     compute_answers: bool = True,
     verify: bool = False,
     engine: "str | ExecutionEngine" = "batched",
+    obs: "Observation | None" = None,
 ) -> ExecutionResult:
     """Simulate one communication round of ``algorithm`` on ``db``.
 
@@ -269,6 +271,12 @@ def run_one_round(
         return identical answers and loads, so the default is purely a
         speed choice; ``"reference"`` remains the oracle the parity suite
         checks the others against.
+    obs:
+        An :class:`repro.obs.Observation` collecting nested timed spans
+        (plan-build, routing, local join, verify) and metrics (tuples
+        routed, bits shipped per relation, per-server load histogram,
+        skew ratio) for the round.  ``None`` (the default) disables
+        instrumentation entirely.
     """
     from .engine import resolve_engine  # local import: engines import us
 
@@ -279,4 +287,5 @@ def run_one_round(
         seed=seed,
         compute_answers=compute_answers,
         verify=verify,
+        obs=obs,
     )

@@ -18,9 +18,44 @@ from repro.api import (
     run_cell,
     validate_record,
 )
+from repro.mpc.engine import EngineError
 from repro.query import parse_query
 
 JOIN_TEXT = "q(x, y, z) :- S1(x, z), S2(y, z)"
+
+
+class TestRegistryErrorMessages:
+    """Unknown engine/algorithm names must fail fast and list the valid
+    registry keys, not crash mid-run with a bare KeyError."""
+
+    def test_unknown_engine_rejected_at_cells_time(self):
+        sweep = Sweep(query=JOIN_TEXT, p_values=(4,), m_values=(20,),
+                      engine="turbo")
+        with pytest.raises(EngineError) as excinfo:
+            sweep.cells()
+        message = str(excinfo.value)
+        assert "turbo" in message
+        for name in ("reference", "batched", "mp"):
+            assert name in message
+
+    def test_unknown_engine_rejected_by_experiment(self):
+        experiment = Experiment(query=JOIN_TEXT, p=4, engine="turbo")
+        with pytest.raises(EngineError, match="batched"):
+            experiment.cells()
+
+    def test_misspelled_algorithms_keyword_lists_registry(self):
+        sweep = Sweep(query=JOIN_TEXT, p_values=(4,), m_values=(20,),
+                      algorithms="al")
+        with pytest.raises(ExperimentError) as excinfo:
+            sweep.cells()
+        message = str(excinfo.value)
+        assert "hashjoin" in message and "hypercube-lp" in message
+
+    def test_unknown_algorithm_key_lists_registry(self):
+        sweep = Sweep(query=JOIN_TEXT, p_values=(4,), m_values=(20,),
+                      algorithms=("hashjoin-typo",))
+        with pytest.raises(Exception, match="hashjoin"):
+            sweep.cells()
 
 
 class TestWorkloadSpec:
