@@ -110,10 +110,18 @@ from .query import (
     triangle_query,
 )
 from .seq import Database, Relation, RelationError, count_answers, evaluate
+from .sketch import (
+    CountSketch,
+    HierarchicalCountSketch,
+    SketchConfig,
+    SketchedHeavyHitterStatistics,
+    sketch_fidelity,
+)
 from .stats import (
     DegreeStatistics,
     HeavyHitterStatistics,
     SimpleStatistics,
+    StatisticsProvider,
 )
 
 __version__ = "1.0.0"
@@ -178,8 +186,14 @@ __all__ = [
     "RelationError",
     "count_answers",
     "evaluate",
+    "CountSketch",
+    "HierarchicalCountSketch",
+    "SketchConfig",
+    "SketchedHeavyHitterStatistics",
+    "sketch_fidelity",
     "DegreeStatistics",
     "HeavyHitterStatistics",
     "SimpleStatistics",
+    "StatisticsProvider",
     "__version__",
 ]

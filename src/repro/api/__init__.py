@@ -14,7 +14,10 @@ algorithms as *experiments* rather than hand-assembled scripts:
    return schema-checked :class:`RunRecord` rows (JSON/CSV exportable);
 4. :mod:`repro.api.bench` — :func:`run_bench` executes the pinned perf
    suite behind ``repro bench`` and the committed ``BENCH_core.json``;
-   :func:`compare_bench` is the CI regression gate.
+   :func:`run_sketch_bench` is its sketch-statistics twin (exact-vs-sketch
+   planner regret and fidelity, ``BENCH_sketch.json``);
+   :func:`compare_bench` is the CI regression gate and
+   :func:`sketch_gate_failures` the sketch suite's absolute one.
 
 Typical use::
 
@@ -35,6 +38,9 @@ from .bench import (
     calibrate,
     compare_bench,
     run_bench,
+    run_sketch_bench,
+    sketch_bench_sweep,
+    sketch_gate_failures,
     validate_bench,
 )
 from .experiment import (
@@ -52,6 +58,7 @@ from .planner import (
     PlanError,
     Prediction,
     QueryPlan,
+    STATS_METHODS,
     autoplan,
     plan,
     resolve_statistics,
@@ -84,6 +91,9 @@ __all__ = [
     "calibrate",
     "compare_bench",
     "run_bench",
+    "run_sketch_bench",
+    "sketch_bench_sweep",
+    "sketch_gate_failures",
     "validate_bench",
     "Cell",
     "Experiment",
@@ -97,6 +107,7 @@ __all__ = [
     "PlanError",
     "Prediction",
     "QueryPlan",
+    "STATS_METHODS",
     "autoplan",
     "plan",
     "resolve_statistics",

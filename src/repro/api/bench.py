@@ -20,6 +20,13 @@ numbers per grid cell:
 list of regressions versus a committed baseline (empty = gate passes).
 The committed ``BENCH_core.json`` is refreshed with ``repro bench --quick
 --output BENCH_core.json``; its git history is the trajectory.
+
+A second suite, :func:`run_sketch_bench` (``repro bench --suite sketch``,
+persisted as ``BENCH_sketch.json``), runs the same pinned grid under both
+statistics methods and measures what sketch estimation error costs the
+planner; :func:`sketch_gate_failures` holds its absolute acceptance
+gates (full heavy-hitter recall, bit-identical shard merges, regret
+within 10% of exact).
 """
 
 from __future__ import annotations
@@ -112,14 +119,19 @@ def calibrate(rounds: int = 3) -> float:
 
 
 def _entry_id(record: RunRecord) -> str:
+    # The stats method is suffixed only when non-default so the ids of the
+    # committed core baseline (written before the stats axis existed)
+    # remain comparable.
+    suffix = "" if record.stats == "exact" else f"-{record.stats}"
     return (
         f"{record.workload}-m{record.m}-s{record.skew:g}-p{record.p}-"
-        f"{record.algorithm}"
+        f"{record.algorithm}{suffix}"
     )
 
 
 def _cell_key(record: RunRecord) -> tuple:
-    return (record.workload, record.m, record.skew, record.seed, record.p)
+    return (record.workload, record.m, record.skew, record.seed, record.p,
+            record.stats)
 
 
 def bench_sweep(quick: bool = False) -> Sweep:
@@ -313,5 +325,239 @@ def compare_bench(
         failures.append(
             f"planner worst regret regressed {cur_regret / base_regret:.2f}x "
             f"({cur_regret:.3f} vs baseline {base_regret:.3f})"
+        )
+    return failures
+
+
+# ----------------------------------------------------------------------
+# the sketch suite (``repro bench --suite sketch`` / BENCH_sketch.json)
+# ----------------------------------------------------------------------
+
+def sketch_bench_sweep(quick: bool = False) -> Sweep:
+    """The pinned grid run under *both* statistics methods.
+
+    Same workload points as the core suite, with the ``stats`` axis added
+    — every cell is planned and executed twice, once from exact
+    frequencies and once from the one-pass Count-Sketch estimates, so the
+    document can price what estimation error costs the planner.
+    """
+    grid = QUICK_GRID if quick else FULL_GRID
+    return Sweep(
+        query=QUERY, algorithms="applicable", observe=True,
+        stats=("exact", "sketch"), **grid,
+    )
+
+
+def _worst_regret(records: Sequence[RunRecord]) -> float:
+    """Planner worst-case regret over the cells of ``records``."""
+    by_cell: dict[tuple, list[RunRecord]] = {}
+    for record in records:
+        by_cell.setdefault(_cell_key(record), []).append(record)
+    worst = 1.0
+    for cell_records in by_cell.values():
+        picked = min(cell_records, key=lambda r: r.predicted_load_bits)
+        best = min(cell_records, key=lambda r: r.max_load_bits)
+        if best.max_load_bits > 0:
+            worst = max(worst, picked.max_load_bits / best.max_load_bits)
+    return worst
+
+
+def _merge_bit_identical(query, db, config) -> bool:
+    """Two-shard build merges to exactly the single-pass sketch tables."""
+    import numpy as np
+
+    from ..sketch import RelationSketchSet, build_sketch_set
+
+    single = build_sketch_set(query, db, config)
+    domains = {
+        atom.name: db.relation(atom.name).domain_size for atom in query.atoms
+    }
+    first = RelationSketchSet.empty(query, domains, config)
+    second = RelationSketchSet.empty(query, domains, config)
+    for name in dict.fromkeys(atom.name for atom in query.atoms):
+        tuples = sorted(db.relation(name).tuples)
+        half = len(tuples) // 2
+        first.update_relation(name, tuples[:half])
+        second.update_relation(name, tuples[half:])
+    merged = first.merge(second)
+    return all(
+        np.array_equal(mine, theirs)
+        for key, sketch in single.sketches.items()
+        for mine, theirs in zip(sketch.tables(),
+                                merged.sketches[key].tables())
+    )
+
+
+def run_sketch_bench(
+    quick: bool = False,
+    obs: Observation | None = None,
+    repeats: int = 3,
+) -> dict:
+    """Execute the sketch suite; return the ``BENCH_sketch.json`` document.
+
+    Besides the core suite's three gateable families (normalized wall,
+    per-entry optimality gaps, planner regret — all now per stats
+    method), the summary carries the estimation-error -> planner-regret
+    measurement the sketch subsystem is gated on:
+
+    * ``sketch_min_recall`` — worst-case fraction of true heavy hitters
+      the sketch recovered across the grid (must be 1.0: a missed heavy
+      hitter overloads the light path);
+    * ``merge_bit_identical`` — 1.0 iff sharded-then-merged sketches
+      equal the single-pass build bit for bit;
+    * ``exact_worst_regret`` / ``sketch_worst_regret`` /
+      ``regret_ratio`` — what planning from estimates costs relative to
+      planning from exact statistics (gated at 1.10).
+    """
+    from ..query.parser import parse_query
+    from ..sketch import (
+        SketchConfig,
+        SketchedHeavyHitterStatistics,
+        sketch_fidelity,
+    )
+    from ..stats.heavy_hitters import HeavyHitterStatistics
+    from .experiment import WorkloadSpec
+
+    if repeats < 1:
+        raise BenchError("run_sketch_bench needs repeats >= 1")
+    sweep = sketch_bench_sweep(quick=quick)
+    calibration = calibrate()
+    obs = obs if obs is not None else Observation.create()
+    result = None
+    total_wall = float("inf")
+    best_wall: dict[str, float] = {}
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = sweep.run(obs=obs)
+        total_wall = min(total_wall, time.perf_counter() - started)
+        for record in result.records:
+            entry_id = _entry_id(record)
+            best_wall[entry_id] = min(
+                best_wall.get(entry_id, float("inf")), record.wall_seconds
+            )
+
+    entries = []
+    for record in result.records:
+        entries.append({
+            "id": _entry_id(record),
+            "algorithm": record.algorithm,
+            "workload": record.workload,
+            "p": record.p,
+            "m": record.m,
+            "skew": record.skew,
+            "seed": record.seed,
+            "stats": record.stats,
+            "wall_seconds": best_wall[_entry_id(record)],
+            "max_load_bits": record.max_load_bits,
+            "lower_bound_bits": record.lower_bound_bits,
+            "optimality_gap": record.optimality_gap,
+            "predicted_load_bits": record.predicted_load_bits,
+        })
+    gaps = [e["optimality_gap"] for e in entries
+            if e["optimality_gap"] is not None]
+
+    exact_records = [r for r in result.records if r.stats == "exact"]
+    sketch_records = [r for r in result.records if r.stats == "sketch"]
+    exact_regret = _worst_regret(exact_records)
+    sketch_regret = _worst_regret(sketch_records)
+    regret_ratio = (sketch_regret / exact_regret) if exact_regret > 0 else 1.0
+
+    # Fidelity pass: exact vs sketched heavy hitters on every grid point,
+    # plus the shard-merge bit-identity check (once per workload).
+    grid = QUICK_GRID if quick else FULL_GRID
+    query = parse_query(QUERY)
+    config = SketchConfig()
+    min_recall = 1.0
+    precisions: list[float] = []
+    max_rel_error = 0.0
+    merge_identical = True
+    fidelity_points = []
+    for m in grid["m_values"]:
+        for skew in grid["skews"]:
+            for seed in grid["seeds"]:
+                workload = WorkloadSpec(
+                    kind=grid["workload"], m=m, skew=skew, seed=seed
+                )
+                db = workload.build(query)
+                merge_identical &= _merge_bit_identical(query, db, config)
+                for p in grid["p_values"]:
+                    exact = HeavyHitterStatistics.of(query, db, p)
+                    sketched = SketchedHeavyHitterStatistics.of(
+                        query, db, p, config=config, obs=obs
+                    )
+                    report = sketch_fidelity(exact, sketched)
+                    min_recall = min(min_recall, report["recall"])
+                    precisions.append(report["precision"])
+                    max_rel_error = max(
+                        max_rel_error, report["max_rel_error"]
+                    )
+                    fidelity_points.append({
+                        "m": m, "skew": skew, "seed": seed, "p": p,
+                        "recall": report["recall"],
+                        "precision": report["precision"],
+                        "max_rel_error": report["max_rel_error"],
+                        "true_heavy": report["true_heavy"],
+                        "sketched_heavy": report["sketched_heavy"],
+                    })
+
+    return {
+        "schema_version": 1,
+        "suite": "sketch",
+        "quick": quick,
+        "repeats": repeats,
+        "query": QUERY,
+        "grid": {key: list(value) if isinstance(value, tuple) else value
+                 for key, value in grid.items()},
+        "calibration_seconds": calibration,
+        "entries": entries,
+        "fidelity": fidelity_points,
+        "summary": {
+            "total_wall_seconds": total_wall,
+            "normalized_wall": total_wall / calibration,
+            "mean_optimality_gap": sum(gaps) / len(gaps) if gaps else 0.0,
+            "max_optimality_gap": max(gaps, default=0.0),
+            "planner_mean_regret": (exact_regret + sketch_regret) / 2,
+            "planner_worst_regret": max(exact_regret, sketch_regret),
+            "exact_worst_regret": exact_regret,
+            "sketch_worst_regret": sketch_regret,
+            "regret_ratio": regret_ratio,
+            "sketch_min_recall": min_recall,
+            "sketch_mean_precision":
+                sum(precisions) / len(precisions) if precisions else 1.0,
+            "sketch_max_rel_error": max_rel_error,
+            "merge_bit_identical": 1.0 if merge_identical else 0.0,
+        },
+    }
+
+
+def sketch_gate_failures(document: Mapping) -> list[str]:
+    """The sketch suite's *absolute* acceptance gates (beyond
+    :func:`compare_bench`'s relative ones); empty list = gate passes.
+
+    * every true heavy hitter recovered (``sketch_min_recall == 1.0``);
+    * sharded build bit-identical to single-pass
+      (``merge_bit_identical == 1.0``);
+    * planning from sketch estimates within 10% of the exact planner's
+      worst-case regret (``regret_ratio <= 1.10``).
+    """
+    summary = document.get("summary", {})
+    failures: list[str] = []
+    recall = summary.get("sketch_min_recall")
+    if not isinstance(recall, (int, float)) or recall < 1.0:
+        failures.append(
+            f"sketched statistics missed true heavy hitters "
+            f"(min recall {recall!r}, want 1.0)"
+        )
+    identical = summary.get("merge_bit_identical")
+    if identical != 1.0:
+        failures.append(
+            "sharded sketch merge is not bit-identical to the "
+            "single-pass build"
+        )
+    ratio = summary.get("regret_ratio")
+    if not isinstance(ratio, (int, float)) or ratio > 1.10:
+        failures.append(
+            f"sketched planner regret ratio {ratio!r} exceeds 1.10x "
+            f"the exact planner's"
         )
     return failures

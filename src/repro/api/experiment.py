@@ -8,7 +8,9 @@ engine, and lands everything in a structured :class:`RunRecord`.
 * :class:`WorkloadSpec` — a deterministic workload generator
   (kind × m × skew × seed) for a query's relations.
 * :class:`Experiment` — one workload × one ``p`` × some algorithms.
-* :class:`Sweep` — the full grid ``p x m x skew x seed x algorithm``;
+* :class:`Sweep` — the full grid ``p x m x skew x seed x stats x
+  algorithm`` (the ``stats`` axis switches the statistics pass between
+  exact frequencies and the one-pass Count-Sketch estimates);
   ``run(max_workers=N)`` farms the cells across a process pool (the same
   fork-first strategy the multiprocessing engine uses), which is safe
   because cells are declarative and therefore picklable.
@@ -41,7 +43,7 @@ from ..query.atoms import ConjunctiveQuery
 from ..query.parser import parse_query
 from ..seq.relation import Database
 from ..stats.heavy_hitters import HeavyHitterStatistics
-from .planner import plan
+from .planner import STATS_METHODS, plan
 from .records import RunRecord, records_to_csv, records_to_json
 from .registry import algorithm_keys, get_spec
 
@@ -137,29 +139,52 @@ class Cell:
     verify: bool = False
     domain: int | None = None  # generator domain override (kind default else)
     observe: bool = False      # collect a per-cell metrics block on the record
+    stats: str = "exact"       # statistics method: "exact" or "sketch"
 
 
 def _coordinates(cell: Cell) -> tuple:
     """The part of a cell that determines its database, stats and plan."""
     return (cell.query, cell.workload, cell.m, cell.skew, cell.seed,
-            cell.domain, cell.p)
+            cell.domain, cell.p, cell.stats)
 
 
-def _prepare(cells: Sequence[Cell]):
+def _validate_stats_method(stats: str) -> None:
+    if stats not in STATS_METHODS:
+        raise ExperimentError(
+            f"unknown stats method {stats!r}; "
+            f"choose from {', '.join(STATS_METHODS)}"
+        )
+
+
+def _build_statistics(query, db, p: int, stats_method: str,
+                      obs: Observation | None = None):
+    """The cell's statistics pass: exact frequencies or the sketch pass."""
+    if stats_method == "sketch":
+        from ..sketch import SketchedHeavyHitterStatistics
+
+        return SketchedHeavyHitterStatistics.of(query, db, p, obs=obs)
+    return HeavyHitterStatistics.of(query, db, p)
+
+
+def _prepare(cells: Sequence[Cell], obs: Observation | None = None):
     """Shared (db, plan) context for cells at the same grid coordinates.
 
     Plans only the algorithms the cells actually mention ("auto" needs
     the full registry), so a single-algorithm cell never pays for
-    cost-estimating the algorithms it is not running.
+    cost-estimating the algorithms it is not running.  The statistics
+    pass honors the cells' ``stats`` method and, when observing, lands
+    its wall clock in the ``stats.build.seconds`` histogram.
     """
     first = cells[0]
+    _validate_stats_method(first.stats)
     query = parse_query(first.query)
     workload = WorkloadSpec(
         kind=first.workload, m=first.m, skew=first.skew, seed=first.seed,
         domain=first.domain,
     )
     db = workload.build(query)
-    stats = HeavyHitterStatistics.of(query, db, first.p)
+    with maybe_timed(obs, "stats.build", method=first.stats):
+        stats = _build_statistics(query, db, first.p, first.stats, obs=obs)
     keys = {cell.algorithm for cell in cells}
     if "auto" in keys:
         query_plan = plan(query, stats, first.p)
@@ -231,6 +256,7 @@ def _execute(
         algorithm=key,
         algorithm_name=algorithm.name,
         engine=cell.engine,
+        stats=cell.stats,
         predicted_load_bits=float(prediction.predicted_load_bits or 0.0),
         lower_bound_bits=query_plan.lower_bound_bits,
         max_load_bits=result.max_load_bits,
@@ -319,11 +345,12 @@ class SweepResult:
         return records_to_csv(self.records)
 
     def best_per_cell(self) -> dict[tuple, RunRecord]:
-        """Minimum measured load per (workload, m, skew, seed, p) cell."""
+        """Minimum measured load per (workload, m, skew, seed, p, stats)
+        cell."""
         best: dict[tuple, RunRecord] = {}
         for record in self.records:
             cell = (record.workload, record.m, record.skew, record.seed,
-                    record.p)
+                    record.p, record.stats)
             current = best.get(cell)
             if current is None or record.max_load_bits < current.max_load_bits:
                 best[cell] = record
@@ -332,7 +359,7 @@ class SweepResult:
     def summary(self) -> str:
         """A compact table: one row per record, sorted like the grid."""
         header = (
-            f"{'workload':>9} {'m':>6} {'skew':>5} {'p':>4} "
+            f"{'workload':>9} {'m':>6} {'skew':>5} {'p':>4} {'stats':>7} "
             f"{'algorithm':>20} {'predicted':>12} {'measured':>12} "
             f"{'bound':>12} {'gap':>6}"
         )
@@ -341,6 +368,7 @@ class SweepResult:
             gap = r.optimality_gap
             lines.append(
                 f"{r.workload:>9} {r.m:>6} {r.skew:>5.2f} {r.p:>4} "
+                f"{r.stats:>7} "
                 f"{r.algorithm:>20} {r.predicted_load_bits:>12,.0f} "
                 f"{r.max_load_bits:>12,.0f} {r.lower_bound_bits:>12,.0f} "
                 f"{'     -' if gap is None else format(gap, '6.2f')}"
@@ -370,6 +398,7 @@ class Experiment:
     compute_answers: bool = False
     verify: bool = False
     observe: bool = False      # attach a metrics block to every record
+    stats: str = "exact"       # statistics method: "exact" or "sketch"
 
     def _query(self) -> ConjunctiveQuery:
         if isinstance(self.query, str):
@@ -379,6 +408,7 @@ class Experiment:
     def cells(self) -> list[Cell]:
         query = self._query()
         _validate_engine(self.engine)
+        _validate_stats_method(self.stats)
         return [
             Cell(
                 query=str(query),
@@ -393,6 +423,7 @@ class Experiment:
                 verify=self.verify,
                 domain=self.workload.domain,
                 observe=self.observe,
+                stats=self.stats,
             )
             for key in _resolve_algorithms(query, self.algorithms)
         ]
@@ -403,7 +434,7 @@ class Experiment:
             return []
         # All cells share one workload x p point: build it once.
         with maybe_timed(obs, "experiment.prepare", query=str(self.query)):
-            db, query_plan = _prepare(cells)
+            db, query_plan = _prepare(cells, obs=obs)
         return [_execute(cell, db, query_plan, obs=obs) for cell in cells]
 
 
@@ -427,11 +458,22 @@ class Sweep:
     verify: bool = False
     domain: int | None = None
     observe: bool = False      # attach a metrics block to every record
+    stats: str | Sequence[str] = "exact"   # one method, or an axis of them
+
+    def _stats_axis(self) -> tuple[str, ...]:
+        methods = ((self.stats,) if isinstance(self.stats, str)
+                   else tuple(self.stats))
+        if not methods:
+            raise ExperimentError("the stats axis is empty")
+        for method in methods:
+            _validate_stats_method(method)
+        return methods
 
     def cells(self) -> list[Cell]:
         query = self._query()
         _validate_engine(self.engine)
         keys = _resolve_algorithms(query, self.algorithms)
+        stats_methods = self._stats_axis()
         # Validate the grid axes up front: a bad value must fail here,
         # not as a traceback from the middle of a half-finished run.
         for p in self.p_values:
@@ -455,9 +497,11 @@ class Sweep:
                 verify=self.verify,
                 domain=self.domain,
                 observe=self.observe,
+                stats=stats_method,
             )
-            for m, skew, seed, p, key in product(
-                self.m_values, self.skews, self.seeds, self.p_values, keys
+            for m, skew, seed, p, stats_method, key in product(
+                self.m_values, self.skews, self.seeds, self.p_values,
+                stats_methods, keys
             )
         ]
 
@@ -522,7 +566,7 @@ class Sweep:
                     with maybe_timed(
                         obs, "sweep.prepare", cells=len(group)
                     ):
-                        db, query_plan = _prepare(group)
+                        db, query_plan = _prepare(group, obs=obs)
                     for cell in group:
                         record = _execute(cell, db, query_plan, obs=obs)
                         done += 1

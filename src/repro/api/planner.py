@@ -151,17 +151,42 @@ class QueryPlan:
         }
 
 
+#: How heavy-hitter statistics are obtained when extracted from a
+#: database: ``"exact"`` materializes true frequencies
+#: (:meth:`HeavyHitterStatistics.of`), ``"sketch"`` runs the one-pass
+#: Count-Sketch statistics pass
+#: (:meth:`repro.sketch.SketchedHeavyHitterStatistics.of`).
+STATS_METHODS = ("exact", "sketch")
+
+
 def resolve_statistics(
     query: ConjunctiveQuery,
     stats: Statistics | None,
     p: int,
     db: Database | None = None,
+    stats_method: str = "exact",
+    obs: Observation | None = None,
 ) -> Statistics:
-    """The richest statistics available: explicit > extracted > error."""
+    """The richest statistics available: explicit > extracted > error.
+
+    ``stats_method`` selects the extraction path when statistics must be
+    pulled from ``db`` (explicitly supplied statistics are used as-is):
+    ``"exact"`` or ``"sketch"`` (see :data:`STATS_METHODS`).
+    """
     if stats is not None:
         return stats
+    if stats_method not in STATS_METHODS:
+        raise PlanError(
+            f"unknown stats method {stats_method!r}; "
+            f"expected one of {STATS_METHODS}"
+        )
     if db is not None:
-        return HeavyHitterStatistics.of(query, db, p)
+        with maybe_timed(obs, "stats.build", method=stats_method):
+            if stats_method == "sketch":
+                from ..sketch import SketchedHeavyHitterStatistics
+
+                return SketchedHeavyHitterStatistics.of(query, db, p, obs=obs)
+            return HeavyHitterStatistics.of(query, db, p)
     raise PlanError("plan() needs statistics or a database to extract them from")
 
 
@@ -172,6 +197,7 @@ def plan(
     db: Database | None = None,
     algorithms: Iterable[str] | None = None,
     obs: Observation | None = None,
+    stats_method: str = "exact",
 ) -> QueryPlan:
     """Rank registered algorithms on ``query`` by predicted max-load.
 
@@ -193,11 +219,18 @@ def plan(
         ``predicted_load_bits()`` cost-hook evaluation; counts
         considered/applicable/inapplicable algorithms.  ``None`` (the
         default) disables instrumentation.
+    stats_method:
+        How statistics are extracted when only ``db`` is given:
+        ``"exact"`` (materialized frequencies) or ``"sketch"`` (the
+        one-pass Count-Sketch statistics pass).  Ignored when ``stats``
+        is supplied.
     """
     if isinstance(query, str):
         query = parse_query(query)
     with maybe_timed(obs, "plan.build", query=str(query), p=p):
-        stats = resolve_statistics(query, stats, p, db)
+        stats = resolve_statistics(
+            query, stats, p, db, stats_method=stats_method, obs=obs
+        )
         simple: SimpleStatistics = getattr(stats, "simple", stats)
         bits = simple.bits_vector(query)
         with maybe_timed(obs, "plan.lower_bound"):
@@ -270,6 +303,10 @@ def autoplan(
     p: int = 16,
     db: Database | None = None,
     algorithms: Iterable[str] | None = None,
+    stats_method: str = "exact",
 ) -> OneRoundAlgorithm:
     """Instantiate the minimum-predicted-load applicable algorithm."""
-    return plan(query, stats, p, db=db, algorithms=algorithms).instantiate()
+    return plan(
+        query, stats, p, db=db, algorithms=algorithms,
+        stats_method=stats_method,
+    ).instantiate()

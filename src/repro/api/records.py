@@ -46,6 +46,9 @@ class RunRecord:
     wall_seconds: float
     answer_count: int | None = None   # None when answers were skipped
     complete: bool | None = None      # None without verification
+    # --- statistics method (a cell coordinate; declared after the
+    # defaulted measurement fields only for dataclass ordering) ---------
+    stats: str = "exact"              # "exact" or "sketch"
     # --- observability -------------------------------------------------
     #: a :meth:`repro.obs.MetricsRegistry.to_dict` digest for this cell
     #: (tuples routed, bits shipped per relation, per-server load
@@ -93,6 +96,7 @@ RUN_RECORD_SCHEMA: Mapping[str, tuple[tuple[type, ...], bool]] = {
     "algorithm": ((str,), False),
     "algorithm_name": ((str,), False),
     "engine": ((str,), False),
+    "stats": ((str,), False),
     "predicted_load_bits": ((int, float), False),
     "lower_bound_bits": ((int, float), False),
     "max_load_bits": ((int, float), False),

@@ -1,6 +1,6 @@
 """Command-line interface: bounds, planning, racing, sweeping, benching.
 
-Six subcommands::
+Seven subcommands::
 
     python -m repro bounds "q(x,y,z) :- S1(x,z), S2(y,z)" \
         --cardinality S1=4096 --cardinality S2=1024 --domain 100000 -p 64
@@ -12,9 +12,13 @@ Six subcommands::
         --workload zipf --skew 1.5 -m 2000 -p 32
 
     python -m repro sweep "q(x,y,z) :- S1(x,z), S2(y,z)" \
-        --workload zipf --skew 0.0,1.5 --p 8,32 --format csv
+        --workload zipf --skew 0.0,1.5 --p 8,32 --stats exact,sketch
+
+    python -m repro stats "q(x,y,z) :- S1(x,z), S2(y,z)" \
+        --workload zipf --skew 1.5 -m 2000 -p 32
 
     python -m repro bench --quick --baseline BENCH_core.json
+    python -m repro bench --suite sketch --quick --baseline BENCH_sketch.json
 
     python -m repro packings "C3(x,y,z) :- R(x,y), S(y,z), T(z,x)"
 
@@ -22,9 +26,14 @@ Six subcommands::
 optimal load; ``plan`` ranks every registered algorithm by predicted load
 (the :mod:`repro.api` planner) without running anything; ``race`` runs the
 applicable algorithms on a generated workload, predicted next to measured;
-``sweep`` executes a full ``p x skew x m x algorithm`` grid through the
-execution engines and emits schema-checked JSON/CSV records; ``bench``
-runs the pinned perf suite into ``BENCH_core.json`` and gates regressions;
+``sweep`` executes a full ``p x skew x m x stats x algorithm`` grid
+through the execution engines and emits schema-checked JSON/CSV records
+(``--stats exact,sketch`` runs every cell under both statistics methods);
+``stats`` compares the one-pass Count-Sketch statistics against the exact
+heavy hitters on one workload (recall/precision, frequency error, pass
+times); ``bench`` runs a pinned perf suite — ``--suite core`` into
+``BENCH_core.json``, ``--suite sketch`` (exact-vs-sketch planner regret
+and fidelity gates) into ``BENCH_sketch.json`` — and gates regressions;
 ``packings`` prints ``pk(q)``, ``tau*`` and the cover numbers.
 
 Observability: ``race``, ``sweep`` and ``bench`` accept ``--trace FILE``
@@ -42,6 +51,7 @@ import argparse
 import json
 import logging
 import sys
+import time
 from typing import Callable, Sequence
 
 from .api import (
@@ -50,7 +60,14 @@ from .api import (
     WorkloadSpec,
     plan as build_plan,
 )
-from .api.bench import compare_bench, run_bench, validate_bench
+from .api.bench import (
+    compare_bench,
+    run_bench,
+    run_sketch_bench,
+    sketch_gate_failures,
+    validate_bench,
+)
+from .api.planner import STATS_METHODS
 from .obs import Observation
 from .core import (
     fractional_edge_cover_number,
@@ -273,6 +290,79 @@ def cmd_race(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Exact-vs-sketched statistics fidelity report on one workload."""
+    from .sketch import (
+        SketchConfig,
+        SketchedHeavyHitterStatistics,
+        sketch_fidelity,
+    )
+
+    query = parse_query(args.query)
+    obs = _make_observation(args)
+    db = _make_workload(query, args.workload, args.m, args.skew, args.seed)
+    try:
+        config = SketchConfig(
+            width=args.width, depth=args.depth, base=args.base
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+
+    started = time.perf_counter()
+    exact = HeavyHitterStatistics.of(query, db, args.p)
+    exact_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    try:
+        sketched = SketchedHeavyHitterStatistics.of(
+            query, db, args.p, config=config, workers=args.workers, obs=obs
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    sketch_seconds = time.perf_counter() - started
+    report = sketch_fidelity(exact, sketched)
+
+    if args.json:
+        print(json.dumps({
+            "query": str(query),
+            "workload": {"kind": args.workload, "m": args.m,
+                         "skew": args.skew, "seed": args.seed},
+            "p": args.p,
+            "sketch": {"width": config.width, "depth": config.depth,
+                       "base": config.base,
+                       "updates": sketched.update_count},
+            "exact_seconds": exact_seconds,
+            "sketch_seconds": sketch_seconds,
+            **report,
+        }, indent=2))
+    else:
+        print(f"query: {query}")
+        print(f"workload: {args.workload} (m={args.m}, skew={args.skew}, "
+              f"seed={args.seed}), p={args.p}")
+        print(f"sketch: width={config.width} depth={config.depth} "
+              f"base={config.base} ({sketched.update_count} updates)")
+        print(f"statistics pass: exact {exact_seconds:.3f}s, "
+              f"sketch {sketch_seconds:.3f}s\n")
+        print(f"{'atom':>6} {'subset':>12} {'true':>5} {'sketched':>9} "
+              f"{'missed':>7} {'spurious':>9} {'max err':>8}")
+        for row in report["pairs"]:
+            print(
+                f"{row['atom']:>6} {','.join(row['subset']):>12} "
+                f"{row['true_heavy']:>5} {row['sketched_heavy']:>9} "
+                f"{row['false_negatives']:>7} {row['false_positives']:>9} "
+                f"{row['max_rel_error']:>8.3f}"
+            )
+        print(
+            f"\nrecall {report['recall']:.3f}  "
+            f"precision {report['precision']:.3f}  "
+            f"max frequency error {report['max_rel_error']:.3f}"
+        )
+        if report["false_negatives"]:
+            print(f"WARNING: {report['false_negatives']} true heavy "
+                  f"hitters were missed — raise --width")
+    _finish_observation(args, obs)
+    return 0 if report["false_negatives"] == 0 else 1
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     algorithms: str | tuple[str, ...]
     if args.algorithms in ("applicable", "auto"):
@@ -291,6 +381,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         engine=args.engine,
         verify=args.verify,
         observe=args.metrics,
+        stats=_parse_grid(args.stats, str, "--stats"),
     )
     try:
         cells = sweep.cells()
@@ -322,9 +413,15 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
 def cmd_bench(args: argparse.Namespace) -> int:
     obs = _make_observation(args) or Observation.create()
-    _LOG.info("bench: running the pinned core suite%s",
+    output = args.output
+    if output is None:
+        output = f"BENCH_{args.suite}.json"
+    _LOG.info("bench: running the pinned %s suite%s", args.suite,
               " (quick grid)" if args.quick else "")
-    document = run_bench(quick=args.quick, obs=obs)
+    if args.suite == "sketch":
+        document = run_sketch_bench(quick=args.quick, obs=obs)
+    else:
+        document = run_bench(quick=args.quick, obs=obs)
     validate_bench(document)
     summary = document["summary"]
     _LOG.info(
@@ -336,6 +433,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
     )
 
     failures: list[str] = []
+    if args.suite == "sketch":
+        # Absolute acceptance gates (recall, shard-merge bit-identity,
+        # regret ratio) apply with or without a baseline.
+        failures.extend(sketch_gate_failures(document))
     if args.baseline:
         try:
             with open(args.baseline, "r", encoding="utf-8") as handle:
@@ -344,19 +445,19 @@ def cmd_bench(args: argparse.Namespace) -> int:
             raise SystemExit(f"cannot read baseline {args.baseline}: {exc}")
         try:
             validate_bench(baseline)
-            failures = compare_bench(
+            failures.extend(compare_bench(
                 baseline, document, max_regression=args.max_regression
-            )
+            ))
         except ValueError as exc:
             raise SystemExit(str(exc)) from None
 
-    if args.output == "-":
+    if output == "-":
         print(json.dumps(document, indent=2))
     else:
-        with open(args.output, "w", encoding="utf-8") as handle:
+        with open(output, "w", encoding="utf-8") as handle:
             json.dump(document, handle, indent=2)
             handle.write("\n")
-        _LOG.info("wrote bench document to %s", args.output)
+        _LOG.info("wrote bench document to %s", output)
 
     _finish_observation(args, obs)
     if failures:
@@ -464,6 +565,10 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--algorithms", default="applicable",
                        help="'applicable' (default), 'auto' (planner pick "
                             "per cell), or comma-separated registry keys")
+    sweep.add_argument("--stats", default="exact",
+                       help="comma-separated statistics methods per cell: "
+                            "exact, sketch (e.g. 'exact,sketch' runs every "
+                            "cell under both)")
     sweep.add_argument("--engine", choices=available_engines(),
                        default="batched")
     sweep.add_argument("--verify", action="store_true",
@@ -478,15 +583,42 @@ def build_parser() -> argparse.ArgumentParser:
     _add_logging_arguments(sweep)
     sweep.set_defaults(func=cmd_sweep)
 
+    stats_cmd = sub.add_parser(
+        "stats",
+        help="compare sketched statistics against exact heavy hitters",
+    )
+    stats_cmd.add_argument("query")
+    _add_workload_arguments(stats_cmd)
+    stats_cmd.add_argument("-p", type=int, default=16)
+    stats_cmd.add_argument("--width", type=int, default=2048,
+                           help="count-sketch columns per row "
+                                "(default %(default)s)")
+    stats_cmd.add_argument("--depth", type=int, default=5,
+                           help="count-sketch rows (default %(default)s)")
+    stats_cmd.add_argument("--base", type=int, default=16,
+                           help="hierarchical digit base (default %(default)s)")
+    stats_cmd.add_argument("--workers", type=int, default=1,
+                           help="build per-shard sketches across N processes "
+                                "and merge them")
+    stats_cmd.add_argument("--json", action="store_true",
+                           help="emit the fidelity report as JSON")
+    _add_observability_arguments(stats_cmd)
+    _add_logging_arguments(stats_cmd)
+    stats_cmd.set_defaults(func=cmd_stats)
+
     bench = sub.add_parser(
         "bench",
-        help="run the pinned perf suite; emit/gate BENCH_core.json",
+        help="run a pinned perf suite; emit/gate BENCH_<suite>.json",
     )
+    bench.add_argument("--suite", choices=["core", "sketch"], default="core",
+                       help="core: the perf trajectory grid; sketch: the "
+                            "same grid under exact and sketched statistics "
+                            "plus fidelity/regret gates (default %(default)s)")
     bench.add_argument("--quick", action="store_true",
                        help="run the reduced grid (what CI runs)")
-    bench.add_argument("--output", default="BENCH_core.json",
+    bench.add_argument("--output", default=None,
                        help="bench document destination ('-' for stdout; "
-                            "default %(default)s)")
+                            "default BENCH_<suite>.json)")
     bench.add_argument("--baseline", default=None,
                        help="compare against this committed bench document "
                             "and exit 1 on regressions")

@@ -47,6 +47,7 @@ from ..query.atoms import ConjunctiveQuery
 from ..query.residual import residual_query
 from ..seq.relation import Database, Tuple
 from ..stats.bins import BinCombination, combination_for_assignment
+from ..stats.provider import StatisticsProvider
 from ..stats.heavy_hitters import (
     HeavyHitterStatistics,
     VarSubset,
@@ -128,7 +129,7 @@ def solve_bin_lp(
 
 def build_cprime(
     query: ConjunctiveQuery,
-    stats: HeavyHitterStatistics,
+    stats: StatisticsProvider,
     p: int,
     bits: Mapping[str, float],
     nbc: float = 1.0,
@@ -165,7 +166,7 @@ def build_cprime(
 
 def _generate_extensions(
     query: ConjunctiveQuery,
-    stats: HeavyHitterStatistics,
+    stats: StatisticsProvider,
     p: int,
     nbc: float,
     combo: BinCombination,
@@ -225,7 +226,7 @@ class _CombinationPlan:
     heavy_positions: Mapping[str, tuple[int, ...]]
     # Overweight filter: per atom, (projection positions, subset, threshold).
     filters: Mapping[str, tuple[tuple[tuple[int, ...], VarSubset, float], ...]]
-    stats: HeavyHitterStatistics
+    stats: StatisticsProvider
     p: int
 
     def _block(self, slot: int) -> tuple[int, int]:
@@ -268,7 +269,7 @@ class BinHyperCubePlan(RoutingPlan):
     def __init__(
         self,
         query: ConjunctiveQuery,
-        stats: HeavyHitterStatistics,
+        stats: StatisticsProvider,
         p: int,
         hashes: HashFamily,
         nbc: float = 1.0,
@@ -425,7 +426,7 @@ class BinHyperCubeAlgorithm(OneRoundAlgorithm):
     def __init__(
         self,
         query: ConjunctiveQuery,
-        stats: HeavyHitterStatistics | None = None,
+        stats: StatisticsProvider | None = None,
         nbc: float = 1.0,
     ) -> None:
         super().__init__(query, name="bin-hypercube")

@@ -32,6 +32,7 @@ from ..mpc.execution import OneRoundAlgorithm, RoutingPlan
 from ..mpc.hashing import HashFamily
 from ..query.atoms import Atom, ConjunctiveQuery, QueryError
 from ..seq.relation import Database, Tuple
+from ..stats.provider import StatisticsProvider
 from ..stats.heavy_hitters import HeavyHitterStatistics, canonical_subset
 
 
@@ -71,7 +72,7 @@ class SkewAwareJoinPlan(RoutingPlan):
     def __init__(
         self,
         query: ConjunctiveQuery,
-        stats: HeavyHitterStatistics,
+        stats: StatisticsProvider,
         p: int,
         hashes: HashFamily,
     ) -> None:
@@ -261,7 +262,7 @@ class SkewAwareJoin(OneRoundAlgorithm):
     def __init__(
         self,
         query: ConjunctiveQuery,
-        stats: HeavyHitterStatistics | None = None,
+        stats: StatisticsProvider | None = None,
     ) -> None:
         super().__init__(query, name="skew-join")
         _split_variables(query)  # validate shape early
@@ -304,7 +305,7 @@ class SkewAwareJoin(OneRoundAlgorithm):
 
 
 def skew_join_load_bound(
-    stats: HeavyHitterStatistics,
+    stats: StatisticsProvider,
     query: ConjunctiveQuery,
     in_bits: bool = True,
 ) -> dict[str, float]:

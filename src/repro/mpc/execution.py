@@ -194,17 +194,20 @@ class OneRoundAlgorithm(ABC):
 
     @staticmethod
     def _heavy_stats(stats: object, p: int):
-        """``stats`` as usable heavy-hitter statistics, or None.
+        """``stats`` as a usable heavy-hitter provider, or None.
 
         The single arbiter every skew-aware cost hook (and the registry)
-        shares: statistics qualify only when they are a
-        :class:`~repro.stats.heavy_hitters.HeavyHitterStatistics` whose
-        hitters were thresholded against this ``p`` — hitters computed for
-        a different ``m/p`` threshold are unusable.
+        shares: statistics qualify only when they satisfy the
+        :class:`~repro.stats.provider.StatisticsProvider` protocol — the
+        exact :class:`~repro.stats.heavy_hitters.HeavyHitterStatistics`
+        and the sketched
+        :class:`~repro.sketch.SketchedHeavyHitterStatistics` both do —
+        *and* their hitters were thresholded against this ``p``; hitters
+        computed for a different ``m/p`` threshold are unusable.
         """
-        from ..stats.heavy_hitters import HeavyHitterStatistics
+        from ..stats.provider import StatisticsProvider
 
-        if isinstance(stats, HeavyHitterStatistics) and stats.p == p:
+        if isinstance(stats, StatisticsProvider) and stats.p == p:
             return stats
         return None
 

@@ -1,0 +1,38 @@
+"""Sketch-based statistics: one-pass, mergeable heavy-hitter estimation.
+
+The streaming counterpart of :mod:`repro.stats` — Count-Sketches with
+hierarchical heavy-hitter recovery, combined into
+:class:`SketchedHeavyHitterStatistics`, a drop-in
+:class:`~repro.stats.provider.StatisticsProvider` for the planner and
+the Section 4 skew-aware algorithms.
+"""
+
+from .count_sketch import (
+    LARGE_PRIME,
+    CountSketch,
+    HierarchicalCountSketch,
+    SketchError,
+    mulmod61,
+)
+from .statistics import (
+    RelationSketchSet,
+    RelationSketchSpec,
+    SketchConfig,
+    SketchedHeavyHitterStatistics,
+    build_sketch_set,
+    sketch_fidelity,
+)
+
+__all__ = [
+    "LARGE_PRIME",
+    "CountSketch",
+    "HierarchicalCountSketch",
+    "SketchError",
+    "mulmod61",
+    "RelationSketchSet",
+    "RelationSketchSpec",
+    "SketchConfig",
+    "SketchedHeavyHitterStatistics",
+    "build_sketch_set",
+    "sketch_fidelity",
+]

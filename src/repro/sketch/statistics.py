@@ -1,0 +1,507 @@
+"""Sketched heavy-hitter statistics: one streaming pass, mergeable shards.
+
+The exact :class:`~repro.stats.heavy_hitters.HeavyHitterStatistics`
+materializes a frequency map per (relation, variable-subset) pair — fine
+for a simulator, but the thing the paper hand-waves as "first detecting
+the heavy hitters (e.g. using sampling)" is a *statistics pass* that real
+systems must run in bounded memory.  This module models that pass:
+
+* every (atom, subset) pair gets one
+  :class:`~repro.sketch.count_sketch.HierarchicalCountSketch`; a partial
+  assignment is encoded as a mixed-radix integer over the relation's
+  domain, so the sketch universe is ``n^|subset|``;
+* :class:`RelationSketchSet` holds the sketches for a whole query and is
+  built in a single pass over each relation's tuples — or one pass per
+  *shard*, since same-config sketch sets :meth:`~RelationSketchSet.merge`
+  by exact integer addition (bit-identical to the single-pass build);
+* :class:`SketchedHeavyHitterStatistics` recovers the heavy hitters from
+  the sketches by prefix descent and implements the same
+  :class:`~repro.stats.provider.StatisticsProvider` surface as the exact
+  statistics, so the planner and the skew-aware algorithms accept either.
+
+The recovery threshold is *slacked below* the true ``m_j / p`` cutoff by
+a multiple of the sketch's characteristic noise ``||f||_2 / sqrt(width)``:
+a borderline value is reported heavy rather than missed.  That bias is
+deliberate — a spurious heavy hitter merely earns a dedicated server
+block (correctness unaffected, a little parallelism wasted), while a
+*missed* one overloads the light path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from ..query.atoms import ConjunctiveQuery
+from ..seq.relation import Database, Tuple
+from ..stats.cardinality import SimpleStatistics, StatisticsError
+from ..stats.heavy_hitters import (
+    Assignment,
+    HeavyHitterLookup,
+    HeavyHitterStatistics,
+    VarSubset,
+    canonical_subset,
+    nonempty_subsets,
+)
+from .count_sketch import LARGE_PRIME, HierarchicalCountSketch, SketchError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs import Observation
+
+
+@dataclass(frozen=True)
+class SketchConfig:
+    """Size and seeding of the statistics sketches.
+
+    The defaults are tuned for the benchmark grids in this repo (domains
+    up to a few thousand values, ``p`` up to 64): width 2048 keeps the
+    characteristic noise well under the ``m_j / p`` thresholds, and the
+    parity suite asserts zero false negatives at these defaults.
+
+    ``seed`` pins every hash coefficient: equal configs build identical
+    sketch functions, which is what lets per-shard sketch sets merge
+    bit-identically.  Never seed from global state.
+    """
+
+    width: int = 2048
+    depth: int = 5
+    base: int = 16
+    seed: int = 0
+    #: Recovery slack in units of the sketch noise ``||f||_2/sqrt(width)``;
+    #: the search threshold is ``m_j/p - slack_factor * noise``.
+    slack_factor: float = 3.0
+    #: Cap on the prefix-descent frontier (inherited by ``find_heavy``).
+    max_candidates: int = 1 << 16
+    #: Tuples per vectorized update batch during the streaming pass.
+    chunk_size: int = 8192
+
+    def __post_init__(self) -> None:
+        if self.width < 2 or self.depth < 1 or self.base < 2:
+            raise SketchError(
+                f"invalid sketch config: width={self.width}, "
+                f"depth={self.depth}, base={self.base}"
+            )
+        if self.slack_factor < 0:
+            raise SketchError("slack_factor must be >= 0")
+
+
+def _pair_seed(config_seed: int, atom_name: str, subset: VarSubset) -> list[int]:
+    """A deterministic SeedSequence entropy for one (atom, subset) pair.
+
+    Derived from the *content* of the key (not ``hash()``, which is
+    salted per process), so independently constructed sketch sets — e.g.
+    in forked shard workers — agree on every hash coefficient.
+    """
+    import zlib
+
+    key = f"{atom_name}|{','.join(subset)}".encode()
+    return [config_seed, zlib.crc32(key)]
+
+
+@dataclass(frozen=True)
+class RelationSketchSpec:
+    """How one (atom, variable-subset) pair maps into a sketch universe.
+
+    An assignment ``(v_0, .., v_{k-1})`` to the sorted subset encodes as
+    the mixed-radix integer ``sum_i v_i * n^i`` over the relation's
+    domain ``[0, n)``; the universe is therefore ``n^k``, which must fit
+    the sketch's ``2^61 - 1`` hashing domain.
+    """
+
+    atom_name: str
+    subset: VarSubset
+    positions: tuple[int, ...]
+    domain_size: int
+    universe: int
+
+    @classmethod
+    def build(
+        cls, atom_name: str, subset: VarSubset,
+        positions: Sequence[int], domain_size: int,
+    ) -> "RelationSketchSpec":
+        universe = 1
+        for _ in subset:
+            universe *= domain_size
+            if universe > LARGE_PRIME:
+                raise StatisticsError(
+                    f"sketch universe {domain_size}^{len(subset)} for atom "
+                    f"{atom_name!r} subset {subset} exceeds 2^61 - 1; "
+                    "sketched statistics need a smaller domain or subset"
+                )
+        return cls(
+            atom_name=atom_name,
+            subset=subset,
+            positions=tuple(positions),
+            domain_size=domain_size,
+            universe=max(1, universe),
+        )
+
+    def encode_batch(self, tuples: np.ndarray) -> np.ndarray:
+        """Mixed-radix items for a 2-D ``(n_tuples, arity)`` value array."""
+        items = np.zeros(tuples.shape[0], dtype=np.uint64)
+        radix = np.uint64(1)
+        n = np.uint64(self.domain_size)
+        for pos in self.positions:
+            items += tuples[:, pos].astype(np.uint64) * radix
+            radix *= n
+        return items
+
+    def decode(self, item: int) -> Assignment:
+        """The assignment a sketch item stands for (inverse of encode)."""
+        values = []
+        for _ in self.subset:
+            values.append(int(item % self.domain_size))
+            item //= self.domain_size
+        return tuple(values)
+
+
+@dataclass
+class RelationSketchSet:
+    """One hierarchical sketch per (atom, subset) pair of a query.
+
+    Built by streaming each relation's tuples through
+    :meth:`update_relation` (in bounded-size numpy batches); per-shard
+    sets with the same config merge by exact table addition, so the
+    sharded build is bit-identical to the single-pass one.
+    """
+
+    config: SketchConfig
+    specs: Mapping[tuple[str, VarSubset], RelationSketchSpec]
+    sketches: Mapping[tuple[str, VarSubset], HierarchicalCountSketch]
+    tuple_counts: dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def empty(cls, query: ConjunctiveQuery, db_domains: Mapping[str, int],
+              config: SketchConfig) -> "RelationSketchSet":
+        """Fresh zero sketches for every (atom, subset) pair of ``query``.
+
+        ``db_domains`` maps relation name to its domain size ``n``.  The
+        subset enumeration reuses (and is capped by) the exact side's
+        :func:`~repro.stats.heavy_hitters.nonempty_subsets` guard.
+        """
+        specs: dict[tuple[str, VarSubset], RelationSketchSpec] = {}
+        sketches: dict[tuple[str, VarSubset], HierarchicalCountSketch] = {}
+        for atom in query.atoms:
+            domain = db_domains[atom.name]
+            atom_vars = canonical_subset(atom.variables)
+            for subset in nonempty_subsets(atom_vars):
+                key = (atom.name, subset)
+                if key in specs:
+                    continue  # self-joins share one sketch per relation
+                positions = [atom.positions_of(var)[0] for var in subset]
+                spec = RelationSketchSpec.build(
+                    atom.name, subset, positions, domain
+                )
+                specs[key] = spec
+                sketches[key] = HierarchicalCountSketch(
+                    universe=spec.universe,
+                    width=config.width,
+                    depth=config.depth,
+                    base=config.base,
+                    seed=_pair_seed(config.seed, atom.name, subset),
+                )
+        return cls(config=config, specs=specs, sketches=sketches,
+                   tuple_counts={})
+
+    # ------------------------------------------------------------------
+    # the streaming pass
+    # ------------------------------------------------------------------
+    def update_relation(self, atom_name: str,
+                        tuples: Iterable[Tuple]) -> None:
+        """Stream one relation's tuples through all its subset sketches.
+
+        One pass: each bounded-size chunk is encoded once per subset and
+        pushed into that subset's sketch; nothing is retained besides the
+        sketch tables, so the pass runs in memory independent of ``m_j``.
+        """
+        keys = [key for key in self.specs if key[0] == atom_name]
+        if not keys:
+            return
+        chunk: list[Tuple] = []
+        for tup in tuples:
+            chunk.append(tup)
+            if len(chunk) >= self.config.chunk_size:
+                self._flush(atom_name, keys, chunk)
+                chunk = []
+        if chunk:
+            self._flush(atom_name, keys, chunk)
+
+    def _flush(self, atom_name: str,
+               keys: Sequence[tuple[str, VarSubset]],
+               chunk: Sequence[Tuple]) -> None:
+        array = np.asarray(chunk, dtype=np.uint64)
+        for key in keys:
+            items = self.specs[key].encode_batch(array)
+            self.sketches[key].update_batch(items)
+        self.tuple_counts[atom_name] = (
+            self.tuple_counts.get(atom_name, 0) + len(chunk)
+        )
+
+    @property
+    def update_count(self) -> int:
+        """Total sketch updates performed (tuples x subsets)."""
+        return sum(s.update_count for s in self.sketches.values())
+
+    # ------------------------------------------------------------------
+    # merging
+    # ------------------------------------------------------------------
+    def merge(self, other: "RelationSketchSet") -> "RelationSketchSet":
+        """Fold a shard's sketches in (exact; any merge order agrees)."""
+        if self.config != other.config or set(self.specs) != set(other.specs):
+            raise SketchError(
+                "cannot merge sketch sets built from different queries or "
+                "sketch configs"
+            )
+        for key, sketch in self.sketches.items():
+            sketch.merge(other.sketches[key])
+        for name, count in other.tuple_counts.items():
+            self.tuple_counts[name] = self.tuple_counts.get(name, 0) + count
+        return self
+
+
+# ----------------------------------------------------------------------
+# process-parallel shard build (mirrors the mp engine's fork-first pool)
+# ----------------------------------------------------------------------
+
+# Installed in workers by the pool initializer; module-level so the
+# worker function pickles under every start method.
+_SHARD_STATE: dict[str, object] = {}
+
+
+def _init_shard_worker(query: ConjunctiveQuery,
+                       domains: dict[str, int],
+                       config: SketchConfig) -> None:
+    _SHARD_STATE["query"] = query
+    _SHARD_STATE["domains"] = domains
+    _SHARD_STATE["config"] = config
+
+
+def _build_shard(chunks: list[tuple[str, list[Tuple]]]) -> RelationSketchSet:
+    """Worker: sketch one shard's tuple chunks into a fresh sketch set."""
+    shard = RelationSketchSet.empty(
+        _SHARD_STATE["query"],            # type: ignore[arg-type]
+        _SHARD_STATE["domains"],          # type: ignore[arg-type]
+        _SHARD_STATE["config"],           # type: ignore[arg-type]
+    )
+    for atom_name, tuples in chunks:
+        shard.update_relation(atom_name, tuples)
+    return shard
+
+
+def build_sketch_set(
+    query: ConjunctiveQuery,
+    db: Database,
+    config: SketchConfig,
+    workers: int = 1,
+) -> RelationSketchSet:
+    """Sketch every relation of ``query`` in one pass over ``db``.
+
+    With ``workers > 1`` the relations' tuples are split into per-worker
+    shards, each worker sketches its shard independently, and the parent
+    merges — the result is bit-identical to the single-pass build
+    because same-seed sketches merge by exact integer addition.
+    """
+    domains = {
+        atom.name: db.relation(atom.name).domain_size for atom in query.atoms
+    }
+    if workers <= 1:
+        sketch_set = RelationSketchSet.empty(query, domains, config)
+        for name in dict.fromkeys(atom.name for atom in query.atoms):
+            sketch_set.update_relation(name, db.relation(name).tuples)
+        return sketch_set
+
+    # Deal tuples round-robin into `workers` shards per relation.
+    shards: list[list[tuple[str, list[Tuple]]]] = [[] for _ in range(workers)]
+    for name in dict.fromkeys(atom.name for atom in query.atoms):
+        tuples = list(db.relation(name).tuples)
+        for w in range(workers):
+            shard_tuples = tuples[w::workers]
+            if shard_tuples:
+                shards[w].append((name, shard_tuples))
+    tasks = [chunks for chunks in shards if chunks]
+    if not tasks:
+        return RelationSketchSet.empty(query, domains, config)
+
+    from ..mpc.engine.multiprocess import pool_context
+
+    ctx = pool_context()
+    try:
+        with ctx.Pool(
+            processes=min(workers, len(tasks)),
+            initializer=_init_shard_worker,
+            initargs=(query, domains, config),
+        ) as pool:
+            shard_sets = pool.map(_build_shard, tasks)
+    except (OSError, PermissionError):  # pragma: no cover - sandboxed envs
+        return build_sketch_set(query, db, config, workers=1)
+    merged = shard_sets[0]
+    for shard_set in shard_sets[1:]:
+        merged.merge(shard_set)
+    return merged
+
+
+# ----------------------------------------------------------------------
+# the provider
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SketchedHeavyHitterStatistics(HeavyHitterLookup):
+    """Heavy hitters recovered from Count-Sketches, planner-compatible.
+
+    Satisfies :class:`~repro.stats.provider.StatisticsProvider` — the
+    same read surface as the exact
+    :class:`~repro.stats.heavy_hitters.HeavyHitterStatistics` — so it
+    drops into ``plan``/``autoplan`` and every skew-aware algorithm's
+    cost hooks unchanged.  Frequencies in ``hitters`` are sketch
+    *estimates* (clamped to ``[1, m_j]``); the recovery threshold is
+    slacked below ``m_j / p`` so borderline values are included rather
+    than missed (see the module docstring for why that bias is safe).
+    """
+
+    simple: SimpleStatistics
+    p: int
+    threshold_factor: float
+    hitters: Mapping[tuple[str, VarSubset], Mapping[Assignment, int]]
+    config: SketchConfig
+    update_count: int
+    sketch_set: RelationSketchSet = field(compare=False, repr=False)
+
+    @classmethod
+    def of(
+        cls,
+        query: ConjunctiveQuery,
+        db: Database,
+        p: int,
+        threshold_factor: float = 1.0,
+        config: SketchConfig | None = None,
+        workers: int = 1,
+        obs: "Observation | None" = None,
+    ) -> "SketchedHeavyHitterStatistics":
+        """One streaming statistics pass over ``db`` for ``query``.
+
+        The sketched twin of :meth:`HeavyHitterStatistics.of`: same
+        signature prefix, same thresholds, estimated frequencies.
+        ``workers > 1`` builds per-shard sketches in a process pool and
+        merges them (bit-identical to ``workers=1``).
+        """
+        from ..obs import maybe_timed
+
+        if p < 1:
+            raise StatisticsError("p must be >= 1")
+        config = config or SketchConfig()
+        with maybe_timed(obs, "stats.sketch_pass", workers=workers):
+            sketch_set = build_sketch_set(query, db, config, workers=workers)
+        simple = SimpleStatistics.of(db)
+        stats = cls.from_sketch_set(
+            query, simple, sketch_set, p,
+            threshold_factor=threshold_factor, obs=obs,
+        )
+        if obs is not None:
+            obs.set_gauge("sketch.width", config.width)
+            obs.set_gauge("sketch.depth", config.depth)
+            obs.count("sketch.updates", sketch_set.update_count)
+        return stats
+
+    @classmethod
+    def from_sketch_set(
+        cls,
+        query: ConjunctiveQuery,
+        simple: SimpleStatistics,
+        sketch_set: RelationSketchSet,
+        p: int,
+        threshold_factor: float = 1.0,
+        obs: "Observation | None" = None,
+    ) -> "SketchedHeavyHitterStatistics":
+        """Recover heavy hitters from already-built (merged) sketches.
+
+        This is the entry point for distributed builds: workers stream
+        their shards into per-shard :class:`RelationSketchSet`\\ s, the
+        coordinator merges them, then recovers here.  Only relation
+        cardinalities (``simple``) are needed besides the sketches.
+        """
+        from ..obs import maybe_timed
+
+        if p < 1:
+            raise StatisticsError("p must be >= 1")
+        config = sketch_set.config
+        hitters: dict[tuple[str, VarSubset], dict[Assignment, int]] = {}
+        with maybe_timed(obs, "stats.sketch_recover"):
+            for key, spec in sketch_set.specs.items():
+                atom_name = key[0]
+                m = simple.cardinality(atom_name)
+                threshold = threshold_factor * m / p
+                sketch = sketch_set.sketches[key]
+                slack = config.slack_factor * sketch.noise_scale()
+                found = sketch.find_heavy(
+                    threshold, slack=slack,
+                    max_candidates=config.max_candidates,
+                )
+                hitters[key] = {
+                    spec.decode(item): max(1, min(m, round(freq)))
+                    for item, freq in found.items()
+                }
+        return cls(
+            simple=simple,
+            p=p,
+            threshold_factor=threshold_factor,
+            hitters=hitters,
+            config=config,
+            update_count=sketch_set.update_count,
+            sketch_set=sketch_set,
+        )
+
+
+# ----------------------------------------------------------------------
+# fidelity report (exact vs sketched)
+# ----------------------------------------------------------------------
+
+def sketch_fidelity(
+    exact: HeavyHitterStatistics,
+    sketched: SketchedHeavyHitterStatistics,
+) -> dict[str, object]:
+    """Compare sketched heavy hitters against the exact ground truth.
+
+    Returns overall ``recall`` (fraction of true heavy hitters the
+    sketch recovered — the number the acceptance gate pins to 1.0),
+    ``precision``, ``max_rel_error`` (worst relative frequency error
+    over the true heavy hitters that were recovered) and per-pair rows.
+    """
+    pairs: list[dict[str, object]] = []
+    true_total = found_total = hit_total = 0
+    max_rel_error = 0.0
+    keys = set(exact.hitters) | set(sketched.hitters)
+    for key in sorted(keys):
+        true_map = dict(exact.hitters.get(key, {}))
+        est_map = dict(sketched.hitters.get(key, {}))
+        hits = set(true_map) & set(est_map)
+        rel_errors = [
+            abs(est_map[a] - true_map[a]) / true_map[a] for a in hits
+        ]
+        pair_max = max(rel_errors, default=0.0)
+        max_rel_error = max(max_rel_error, pair_max)
+        true_total += len(true_map)
+        found_total += len(est_map)
+        hit_total += len(hits)
+        pairs.append({
+            "atom": key[0],
+            "subset": list(key[1]),
+            "true_heavy": len(true_map),
+            "sketched_heavy": len(est_map),
+            "false_negatives": len(true_map) - len(hits),
+            "false_positives": len(est_map) - len(hits),
+            "max_rel_error": pair_max,
+        })
+    recall = 1.0 if true_total == 0 else hit_total / true_total
+    precision = 1.0 if found_total == 0 else hit_total / found_total
+    return {
+        "recall": recall,
+        "precision": precision,
+        "max_rel_error": max_rel_error,
+        "true_heavy": true_total,
+        "sketched_heavy": found_total,
+        "false_negatives": true_total - hit_total,
+        "false_positives": found_total - hit_total,
+        "pairs": pairs,
+    }

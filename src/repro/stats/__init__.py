@@ -13,13 +13,21 @@ from .bins import (
 from .cardinality import SimpleStatistics, StatisticsError
 from .degrees import DegreeStatistics
 from .heavy_hitters import (
+    MAX_SUBSET_VARIABLES,
     Assignment,
+    HeavyHitterLookup,
     HeavyHitterStatistics,
     VarSubset,
     canonical_subset,
+    nonempty_subsets,
 )
+from .provider import StatisticsProvider
 
 __all__ = [
+    "MAX_SUBSET_VARIABLES",
+    "HeavyHitterLookup",
+    "StatisticsProvider",
+    "nonempty_subsets",
     "BinCombination",
     "assignment_bin_exponent",
     "bin_exponent",

@@ -27,13 +27,33 @@ VarSubset = tuple[str, ...]
 Assignment = tuple[int, ...]
 
 
+#: Cap on the per-atom variable count before the ``2^n - 1`` subset
+#: enumeration is refused.  No algorithm in the registry consults subsets
+#: of more than a handful of variables, and silently materializing
+#: thousands of frequency maps for a high-arity atom is a far worse
+#: failure mode than a clear error.
+MAX_SUBSET_VARIABLES = 12
+
+
 def canonical_subset(variables: Iterable[str]) -> VarSubset:
     return tuple(sorted(set(variables)))
 
 
-def _nonempty_subsets(variables: VarSubset) -> list[VarSubset]:
-    subsets: list[VarSubset] = []
+def nonempty_subsets(variables: VarSubset) -> list[VarSubset]:
+    """Every nonempty subset of ``variables``, in mask order.
+
+    Raises :class:`StatisticsError` beyond :data:`MAX_SUBSET_VARIABLES`
+    variables — the enumeration is exponential, so a high-arity atom must
+    fail loudly instead of blowing up memory.
+    """
     n = len(variables)
+    if n > MAX_SUBSET_VARIABLES:
+        raise StatisticsError(
+            f"refusing to enumerate 2^{n} - 1 variable subsets of "
+            f"{variables}; heavy-hitter statistics cap atoms at "
+            f"{MAX_SUBSET_VARIABLES} variables"
+        )
+    subsets: list[VarSubset] = []
     for mask in range(1, 1 << n):
         subsets.append(
             tuple(variables[i] for i in range(n) if mask & (1 << i))
@@ -41,9 +61,63 @@ def _nonempty_subsets(variables: VarSubset) -> list[VarSubset]:
     return subsets
 
 
+# Backwards-compatible private alias (pre-guard spelling).
+_nonempty_subsets = nonempty_subsets
+
+
+class HeavyHitterLookup:
+    """The read side of heavy-hitter statistics, shared by the exact and
+    the sketched providers (both satisfy
+    :class:`repro.stats.provider.StatisticsProvider`).
+
+    Implementations supply ``simple``, ``p``, ``threshold_factor`` and a
+    ``hitters`` mapping ``(atom_name, subset) -> {assignment: frequency}``
+    in canonical (sorted-variable) order.
+    """
+
+    simple: SimpleStatistics
+    p: int
+    threshold_factor: float
+    hitters: Mapping[tuple[str, VarSubset], Mapping[Assignment, int]]
+
+    def threshold(self, atom_name: str) -> float:
+        """The heavy-hitter frequency threshold ``m_j / p`` (scaled)."""
+        return self.threshold_factor * self.simple.cardinality(atom_name) / self.p
+
+    def heavy_hitters(
+        self, atom_name: str, variables: Iterable[str]
+    ) -> Mapping[Assignment, int]:
+        """Heavy assignments (and frequencies) for an atom/subset pair."""
+        key = (atom_name, canonical_subset(variables))
+        return self.hitters.get(key, {})
+
+    def frequency(
+        self, atom_name: str, variables: Iterable[str], assignment: Assignment
+    ) -> int | None:
+        """``m_j(h_j)`` if heavy; ``None`` means light (``<= m_j/p``)."""
+        return self.heavy_hitters(atom_name, variables).get(tuple(assignment))
+
+    def is_heavy(
+        self, atom_name: str, variables: Iterable[str], assignment: Assignment
+    ) -> bool:
+        return tuple(assignment) in self.heavy_hitters(atom_name, variables)
+
+    def frequency_or_light_bound(
+        self, atom_name: str, variables: Iterable[str], assignment: Assignment
+    ) -> float:
+        """Known frequency for heavy hitters; the ``m_j/p`` bound otherwise."""
+        freq = self.frequency(atom_name, variables, assignment)
+        if freq is not None:
+            return float(freq)
+        return self.threshold(atom_name)
+
+    def total_heavy_count(self) -> int:
+        return sum(len(mapping) for mapping in self.hitters.values())
+
+
 @dataclass(frozen=True)
-class HeavyHitterStatistics:
-    """Heavy hitters of every (relation, variable-subset) pair.
+class HeavyHitterStatistics(HeavyHitterLookup):
+    """Exact heavy hitters of every (relation, variable-subset) pair.
 
     Attributes
     ----------
@@ -151,40 +225,3 @@ class HeavyHitterStatistics:
         return cls(
             simple=simple, p=p, threshold_factor=threshold_factor, hitters=hitters
         )
-
-    # ------------------------------------------------------------------
-    # lookups
-    # ------------------------------------------------------------------
-    def threshold(self, atom_name: str) -> float:
-        """The heavy-hitter frequency threshold ``m_j / p`` (scaled)."""
-        return self.threshold_factor * self.simple.cardinality(atom_name) / self.p
-
-    def heavy_hitters(
-        self, atom_name: str, variables: Iterable[str]
-    ) -> Mapping[Assignment, int]:
-        """Heavy assignments (and frequencies) for an atom/subset pair."""
-        key = (atom_name, canonical_subset(variables))
-        return self.hitters.get(key, {})
-
-    def frequency(
-        self, atom_name: str, variables: Iterable[str], assignment: Assignment
-    ) -> int | None:
-        """``m_j(h_j)`` if heavy; ``None`` means light (``<= m_j/p``)."""
-        return self.heavy_hitters(atom_name, variables).get(tuple(assignment))
-
-    def is_heavy(
-        self, atom_name: str, variables: Iterable[str], assignment: Assignment
-    ) -> bool:
-        return tuple(assignment) in self.heavy_hitters(atom_name, variables)
-
-    def frequency_or_light_bound(
-        self, atom_name: str, variables: Iterable[str], assignment: Assignment
-    ) -> float:
-        """Known frequency for heavy hitters; the ``m_j/p`` bound otherwise."""
-        freq = self.frequency(atom_name, variables, assignment)
-        if freq is not None:
-            return float(freq)
-        return self.threshold(atom_name)
-
-    def total_heavy_count(self) -> int:
-        return sum(len(mapping) for mapping in self.hitters.values())

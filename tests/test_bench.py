@@ -10,6 +10,8 @@ from repro.api import (
     calibrate,
     compare_bench,
     run_bench,
+    run_sketch_bench,
+    sketch_gate_failures,
     validate_bench,
 )
 from repro.cli import main
@@ -18,6 +20,11 @@ from repro.cli import main
 @pytest.fixture(scope="module")
 def document():
     return run_bench(quick=True)
+
+
+@pytest.fixture(scope="module")
+def sketch_document():
+    return run_sketch_bench(quick=True, repeats=1)
 
 
 class TestRunBench:
@@ -136,6 +143,66 @@ class TestCompareBench:
             compare_bench(document, other)
 
 
+class TestSketchBench:
+    def test_document_is_schema_valid(self, sketch_document):
+        validate_bench(sketch_document)
+        assert sketch_document["suite"] == "sketch"
+
+    def test_entries_cover_both_stats_methods(self, sketch_document):
+        methods = {entry["stats"] for entry in sketch_document["entries"]}
+        assert methods == {"exact", "sketch"}
+        # Same grid for both, so the split is exactly half and half.
+        exact = [e for e in sketch_document["entries"]
+                 if e["stats"] == "exact"]
+        assert len(exact) * 2 == len(sketch_document["entries"])
+
+    def test_sketch_entries_get_an_id_suffix(self, sketch_document):
+        for entry in sketch_document["entries"]:
+            assert entry["id"].endswith("-sketch") == (
+                entry["stats"] == "sketch"
+            )
+
+    def test_fidelity_points_cover_the_grid(self, sketch_document):
+        grid = sketch_document["grid"]
+        expected = (
+            len(grid["m_values"]) * len(grid["skews"])
+            * len(grid["seeds"]) * len(grid["p_values"])
+        )
+        assert len(sketch_document["fidelity"]) == expected
+
+    def test_gates_pass_on_a_real_run(self, sketch_document):
+        assert sketch_gate_failures(sketch_document) == []
+        summary = sketch_document["summary"]
+        assert summary["sketch_min_recall"] == 1.0
+        assert summary["merge_bit_identical"] == 1.0
+        assert summary["regret_ratio"] <= 1.10
+
+    def test_recall_gate_triggers(self, sketch_document):
+        doctored = copy.deepcopy(sketch_document)
+        doctored["summary"]["sketch_min_recall"] = 0.9
+        failures = sketch_gate_failures(doctored)
+        assert any("missed true heavy hitters" in f for f in failures)
+
+    def test_merge_gate_triggers(self, sketch_document):
+        doctored = copy.deepcopy(sketch_document)
+        doctored["summary"]["merge_bit_identical"] = 0.0
+        failures = sketch_gate_failures(doctored)
+        assert any("bit-identical" in f for f in failures)
+
+    def test_regret_gate_triggers(self, sketch_document):
+        doctored = copy.deepcopy(sketch_document)
+        doctored["summary"]["regret_ratio"] = 1.5
+        failures = sketch_gate_failures(doctored)
+        assert any("regret ratio" in f for f in failures)
+
+    def test_self_compare_passes(self, sketch_document):
+        assert compare_bench(sketch_document, sketch_document) == []
+
+    def test_core_baseline_is_rejected(self, document, sketch_document):
+        with pytest.raises(BenchError, match="suite"):
+            compare_bench(document, sketch_document)
+
+
 class TestBenchCommand:
     def test_emits_schema_valid_document(self, tmp_path, capsys):
         output = tmp_path / "BENCH_core.json"
@@ -180,3 +247,35 @@ class TestBenchCommand:
     def test_stdout_output(self, capsys):
         assert main(["bench", "--quick", "--output", "-", "-q"]) == 0
         validate_bench(json.loads(capsys.readouterr().out))
+
+    def test_sketch_suite_emits_gated_document(self, tmp_path):
+        output = tmp_path / "BENCH_sketch.json"
+        assert main([
+            "bench", "--suite", "sketch", "--quick",
+            "--output", str(output), "-q",
+        ]) == 0
+        payload = json.loads(output.read_text())
+        validate_bench(payload)
+        assert payload["suite"] == "sketch"
+        assert sketch_gate_failures(payload) == []
+
+    def test_sketch_suite_fails_on_doctored_baseline(self, tmp_path, capsys):
+        output = tmp_path / "BENCH_sketch.json"
+        assert main([
+            "bench", "--suite", "sketch", "--quick",
+            "--output", str(output), "-q",
+        ]) == 0
+        baseline = json.loads(output.read_text())
+        baseline["summary"]["normalized_wall"] /= 100
+        doctored = tmp_path / "doctored.json"
+        doctored.write_text(json.dumps(baseline))
+        assert main([
+            "bench", "--suite", "sketch", "--quick",
+            "--output", str(tmp_path / "second.json"),
+            "--baseline", str(doctored), "-q",
+        ]) == 1
+        assert "REGRESSION" in capsys.readouterr().err
+
+    def test_unknown_suite_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["bench", "--suite", "quantum", "--quick", "-q"])

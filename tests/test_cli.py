@@ -247,3 +247,61 @@ class TestSweepCommand:
                 "sweep", "C3(x,y,z) :- R(x,y), S(y,z), T(z,x)",
                 "--algorithms", "skew-join",
             ])
+
+    def test_sweep_stats_axis(self, capsys):
+        assert main([
+            "sweep", "q(x,y,z) :- S1(x,z), S2(y,z)",
+            "--workload", "zipf", "--skew", "1.2", "--p", "8",
+            "--m", "100", "--algorithms", "skew-join",
+            "--stats", "exact,sketch", "--format", "json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert sorted(entry["stats"] for entry in payload) == [
+            "exact", "sketch",
+        ]
+        for entry in payload:
+            validate_record(entry)
+            assert entry["max_load_bits"] > 0
+
+    def test_sweep_rejects_unknown_stats_method(self):
+        with pytest.raises(SystemExit):
+            main(self.GRID + ["--stats", "psychic"])
+
+
+class TestStatsCommand:
+    WORKLOAD = [
+        "stats", "q(x,y,z) :- S1(x,z), S2(y,z)",
+        "--workload", "zipf", "--skew", "1.5", "-m", "400", "-p", "8",
+    ]
+
+    def test_fidelity_report(self, capsys):
+        assert main(self.WORKLOAD) == 0
+        out = capsys.readouterr().out
+        assert "recall 1.000" in out
+        assert "statistics pass" in out
+        assert "WARNING" not in out
+
+    def test_json_report(self, capsys):
+        assert main(self.WORKLOAD + ["--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["recall"] == 1.0
+        assert payload["false_negatives"] == 0
+        assert payload["sketch"]["width"] == 2048
+        assert payload["sketch"]["updates"] > 0
+        assert payload["pairs"]
+
+    def test_undersized_sketch_exits_nonzero(self, capsys):
+        """A sketch far too narrow for the workload misses hitters and
+        reports it through the exit code."""
+        result = main(self.WORKLOAD + ["--width", "4", "--depth", "1"])
+        out = capsys.readouterr().out
+        if result == 1:
+            assert "WARNING" in out
+        else:
+            # A tiny sketch *can* get lucky; the contract is only that
+            # exit 1 <=> missed hitters.
+            assert "WARNING" not in out
+
+    def test_invalid_sketch_parameters_are_a_clean_error(self):
+        with pytest.raises(SystemExit):
+            main(self.WORKLOAD + ["--width", "0"])

@@ -1,0 +1,240 @@
+"""Tests for sketched heavy-hitter statistics (repro.sketch.statistics)
+and their integration with the planner, sweep runner and records."""
+
+import numpy as np
+import pytest
+
+from repro.api import Sweep, plan, resolve_statistics
+from repro.api.experiment import Cell, run_cell
+from repro.data import zipf_relation
+from repro.obs import Observation
+from repro.query import parse_query
+from repro.seq import Database
+from repro.sketch import (
+    RelationSketchSet,
+    SketchConfig,
+    SketchedHeavyHitterStatistics,
+    build_sketch_set,
+    sketch_fidelity,
+)
+from repro.stats import (
+    HeavyHitterStatistics,
+    MAX_SUBSET_VARIABLES,
+    StatisticsError,
+    StatisticsProvider,
+    nonempty_subsets,
+)
+
+QUERY = "q(x, y, z) :- S1(x, z), S2(y, z)"
+
+
+@pytest.fixture(scope="module")
+def query():
+    return parse_query(QUERY)
+
+
+@pytest.fixture(scope="module")
+def zipf_db():
+    return Database.from_relations([
+        zipf_relation("S1", 4000, 1600, skew=1.6, seed=1),
+        zipf_relation("S2", 4000, 1600, skew=1.1, seed=2),
+    ])
+
+
+class TestSubsetGuard:
+    def test_small_atoms_enumerate_fully(self):
+        assert len(nonempty_subsets(("x", "y", "z"))) == 7
+
+    def test_high_arity_atom_is_refused(self):
+        variables = tuple(f"v{i}" for i in range(MAX_SUBSET_VARIABLES + 1))
+        with pytest.raises(StatisticsError, match="refusing to enumerate"):
+            nonempty_subsets(variables)
+
+    def test_extraction_surfaces_the_guard(self):
+        from repro.seq import Relation
+
+        n = MAX_SUBSET_VARIABLES + 1
+        variables = ", ".join(f"v{i}" for i in range(n))
+        query = parse_query(f"q({variables}) :- R({variables})")
+        db = Database.from_relations(
+            [Relation.build("R", [tuple(range(n))])]
+        )
+        with pytest.raises(StatisticsError, match="refusing to enumerate"):
+            HeavyHitterStatistics.of(query, db, p=4)
+
+
+class TestSketchedStatistics:
+    def test_satisfies_the_provider_protocol(self, query, zipf_db):
+        sketched = SketchedHeavyHitterStatistics.of(query, zipf_db, p=8)
+        assert isinstance(sketched, StatisticsProvider)
+
+    @pytest.mark.parametrize("p", [8, 32])
+    def test_zero_false_negatives_on_zipf(self, query, zipf_db, p):
+        """Every true heavy hitter is recovered at the default width."""
+        exact = HeavyHitterStatistics.of(query, zipf_db, p)
+        sketched = SketchedHeavyHitterStatistics.of(query, zipf_db, p)
+        report = sketch_fidelity(exact, sketched)
+        assert report["true_heavy"] > 0  # the workload is genuinely skewed
+        assert report["false_negatives"] == 0
+        assert report["recall"] == 1.0
+
+    def test_frequency_error_within_count_sketch_bound(self, query, zipf_db):
+        """Estimated frequencies of true heavy hitters stay within a few
+        multiples of the ||f||_2 / sqrt(width) characteristic noise."""
+        p = 8
+        exact = HeavyHitterStatistics.of(query, zipf_db, p)
+        sketched = SketchedHeavyHitterStatistics.of(query, zipf_db, p)
+        for key, true_map in exact.hitters.items():
+            sketch = sketched.sketch_set.sketches[key]
+            tolerance = max(1.0, 4 * sketch.noise_scale())
+            est_map = sketched.hitters.get(key, {})
+            for assignment, true_freq in true_map.items():
+                assert assignment in est_map
+                assert abs(est_map[assignment] - true_freq) <= tolerance
+
+    def test_sharded_build_is_bit_identical(self, query, zipf_db):
+        config = SketchConfig()
+        single = build_sketch_set(query, zipf_db, config, workers=1)
+        domains = {
+            atom.name: zipf_db.relation(atom.name).domain_size
+            for atom in query.atoms
+        }
+        shards = [
+            RelationSketchSet.empty(query, domains, config) for _ in range(3)
+        ]
+        for name in ("S1", "S2"):
+            tuples = sorted(zipf_db.relation(name).tuples)
+            for i, shard in enumerate(shards):
+                shard.update_relation(name, tuples[i::3])
+        merged = shards[0].merge(shards[1]).merge(shards[2])
+        for key, sketch in single.sketches.items():
+            assert all(
+                np.array_equal(mine, theirs)
+                for mine, theirs in zip(sketch.tables(),
+                                        merged.sketches[key].tables())
+            )
+        assert merged.tuple_counts == single.tuple_counts
+
+    def test_process_parallel_build_matches_single_pass(self, query, zipf_db):
+        config = SketchConfig()
+        single = build_sketch_set(query, zipf_db, config, workers=1)
+        pooled = build_sketch_set(query, zipf_db, config, workers=2)
+        for key, sketch in single.sketches.items():
+            assert all(
+                np.array_equal(mine, theirs)
+                for mine, theirs in zip(sketch.tables(),
+                                        pooled.sketches[key].tables())
+            )
+
+    def test_merge_rejects_config_mismatch(self, query, zipf_db):
+        a = build_sketch_set(query, zipf_db, SketchConfig(seed=0))
+        b = build_sketch_set(query, zipf_db, SketchConfig(seed=1))
+        with pytest.raises(ValueError, match="merge"):
+            a.merge(b)
+
+    def test_observation_records_the_pass(self, query, zipf_db):
+        obs = Observation.create()
+        sketched = SketchedHeavyHitterStatistics.of(
+            query, zipf_db, p=8, obs=obs
+        )
+        metrics = obs.metrics.to_dict()
+        assert metrics["gauges"]["sketch.width"] == sketched.config.width
+        assert metrics["gauges"]["sketch.depth"] == sketched.config.depth
+        assert metrics["counters"]["sketch.updates"] == sketched.update_count
+        span_names = {span.name for span in obs.tracer.spans}
+        assert "stats.sketch_pass" in span_names
+
+    def test_oversized_universe_is_a_clean_error(self):
+        query = parse_query("q(a, b, c, d, e, f) :- R(a, b, c, d, e, f)")
+        relation = zipf_relation(
+            "R", 100, 3000, arity=6, skew=0.0, seed=0
+        )
+        db = Database.from_relations([relation])
+        with pytest.raises(StatisticsError, match="2\\^61"):
+            SketchedHeavyHitterStatistics.of(query, db, p=4)
+
+
+class TestPlannerIntegration:
+    def test_resolve_statistics_sketch_method(self, query, zipf_db):
+        stats = resolve_statistics(
+            query, None, 8, zipf_db, stats_method="sketch"
+        )
+        assert isinstance(stats, SketchedHeavyHitterStatistics)
+
+    def test_resolve_statistics_rejects_unknown_method(self, query, zipf_db):
+        with pytest.raises(ValueError, match="stats method"):
+            resolve_statistics(query, None, 8, zipf_db, stats_method="tarot")
+
+    def test_plan_accepts_sketched_statistics(self, query, zipf_db):
+        exact_plan = plan(query, db=zipf_db, p=8)
+        sketch_plan = plan(query, db=zipf_db, p=8, stats_method="sketch")
+        assert isinstance(sketch_plan.stats, SketchedHeavyHitterStatistics)
+        exact_keys = [pr.key for pr in exact_plan.applicable]
+        sketch_keys = [pr.key for pr in sketch_plan.applicable]
+        assert set(exact_keys) == set(sketch_keys)
+        # Skew-aware algorithms priced the sketched hitters, not the
+        # skew-free fallback: predictions exist and are finite.
+        for pr in sketch_plan.applicable:
+            assert pr.predicted_load_bits > 0
+
+    def test_skew_algorithms_run_from_sketched_stats(self, query, zipf_db):
+        """The skew-aware join executes completely when handed sketched
+        statistics (spurious hitters are safe; missed ones are not)."""
+        from repro.core import SkewAwareJoin
+        from repro.mpc import run_one_round
+
+        sketched = SketchedHeavyHitterStatistics.of(query, zipf_db, p=8)
+        algo = SkewAwareJoin(query, stats=sketched)
+        result = run_one_round(algo, zipf_db, p=8, verify=True)
+        assert result.is_complete
+
+
+class TestSweepIntegration:
+    def test_stats_axis_doubles_the_grid(self):
+        sweep = Sweep(
+            QUERY, workload="zipf", p_values=(4,), m_values=(80,),
+            skews=(1.2,), algorithms=("hashjoin", "skew-join"),
+            stats=("exact", "sketch"),
+        )
+        cells = sweep.cells()
+        assert len(cells) == 4
+        assert {cell.stats for cell in cells} == {"exact", "sketch"}
+
+    def test_records_carry_the_stats_method(self):
+        result = Sweep(
+            QUERY, workload="zipf", p_values=(4,), m_values=(80,),
+            skews=(1.2,), algorithms=("skew-join",),
+            stats=("exact", "sketch"),
+        ).run()
+        assert [r.stats for r in result.records] == ["exact", "sketch"]
+        for record in result.records:
+            assert record.max_load_bits > 0
+
+    def test_best_per_cell_separates_stats_methods(self):
+        result = Sweep(
+            QUERY, workload="zipf", p_values=(4,), m_values=(80,),
+            skews=(1.2,), algorithms=("hashjoin", "skew-join"),
+            stats=("exact", "sketch"),
+        ).run()
+        assert len(result.best_per_cell()) == 2
+
+    def test_unknown_stats_method_fails_before_running(self):
+        with pytest.raises(ValueError, match="stats method"):
+            Sweep(QUERY, stats=("exact", "psychic")).cells()
+
+    def test_run_cell_with_sketch_stats(self):
+        record = run_cell(Cell(
+            query=QUERY, workload="zipf", m=80, skew=1.2, seed=0, p=4,
+            algorithm="skew-join", stats="sketch",
+        ))
+        assert record.stats == "sketch"
+        assert record.max_load_bits > 0
+
+    def test_sweep_obs_times_the_stats_pass(self):
+        obs = Observation.create()
+        Sweep(
+            QUERY, workload="zipf", p_values=(4,), m_values=(80,),
+            skews=(1.2,), algorithms=("skew-join",), stats="sketch",
+        ).run(obs=obs)
+        metrics = obs.metrics.to_dict()
+        assert "stats.build.seconds" in metrics["histograms"]
