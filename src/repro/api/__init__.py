@@ -51,6 +51,7 @@ from .experiment import (
     SweepResult,
     WORKLOAD_KINDS,
     WorkloadSpec,
+    failure_record,
     run_cell,
     sweep,
 )
@@ -102,6 +103,7 @@ __all__ = [
     "SweepResult",
     "WORKLOAD_KINDS",
     "WorkloadSpec",
+    "failure_record",
     "run_cell",
     "sweep",
     "PlanError",

@@ -11,9 +11,13 @@ engine, and lands everything in a structured :class:`RunRecord`.
 * :class:`Sweep` — the full grid ``p x m x skew x seed x stats x
   algorithm`` (the ``stats`` axis switches the statistics pass between
   exact frequencies and the one-pass Count-Sketch estimates);
-  ``run(max_workers=N)`` farms the cells across a process pool (the same
-  fork-first strategy the multiprocessing engine uses), which is safe
-  because cells are declarative and therefore picklable.
+  ``run(max_workers=N)`` farms the cells through the fault-isolated
+  executor in :mod:`repro.service.jobs` (the same one ``repro serve``
+  uses), which is safe because cells are declarative and therefore
+  picklable.  A cell that raises yields a structured ``failed:<reason>``
+  record, a cell past ``cell_timeout`` yields a ``timeout`` record (its
+  worker process is replaced), and every healthy record is returned in
+  grid order regardless.
 
 Everything here is importable-state free: a cell is a frozen dataclass of
 primitives, so sweeps can be generated on one machine and executed on
@@ -22,11 +26,9 @@ another.
 
 from __future__ import annotations
 
-import logging
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import dataclass, replace
-from itertools import groupby, product
+from dataclasses import dataclass
+from itertools import product
 from typing import Callable, Sequence
 
 from ..data.generators import (
@@ -36,7 +38,6 @@ from ..data.generators import (
     zipf_relation,
 )
 from ..mpc.engine.base import EngineError, available_engines
-from ..mpc.engine.multiprocess import pool_context
 from ..mpc.execution import run_one_round
 from ..obs import MetricsRegistry, Observation, Tracer, maybe_timed
 from ..query.atoms import ConjunctiveQuery
@@ -46,9 +47,6 @@ from ..stats.heavy_hitters import HeavyHitterStatistics
 from .planner import STATS_METHODS, plan
 from .records import RunRecord, records_to_csv, records_to_json
 from .registry import algorithm_keys, get_spec
-
-_LOG = logging.getLogger("repro.api.experiment")
-
 
 class ExperimentError(ValueError):
     """Raised for unsatisfiable experiment/sweep specifications."""
@@ -270,6 +268,46 @@ def _execute(
     )
 
 
+def failure_record(
+    cell: Cell, status: str, wall_seconds: float = 0.0
+) -> RunRecord:
+    """A structured record for a cell that could not produce measurements.
+
+    ``status`` is ``"failed:<reason>"`` or ``"timeout"``.  Measurements
+    are zeroed (the schema keeps them non-null so exports stay flat);
+    the cell coordinates survive, so a failed cell is still addressable
+    in the exported grid.
+    """
+    try:
+        domain = WorkloadSpec(
+            kind=cell.workload, m=cell.m, skew=cell.skew, seed=cell.seed,
+            domain=cell.domain,
+        ).domain_size
+    except ExperimentError:
+        domain = cell.domain if cell.domain is not None else 0
+    return RunRecord(
+        query=cell.query,
+        workload=cell.workload,
+        m=cell.m,
+        skew=cell.skew,
+        seed=cell.seed,
+        domain=domain,
+        p=cell.p,
+        algorithm=cell.algorithm,
+        algorithm_name=cell.algorithm,
+        engine=cell.engine,
+        stats=cell.stats,
+        status=status,
+        predicted_load_bits=0.0,
+        lower_bound_bits=0.0,
+        max_load_bits=0.0,
+        max_load_tuples=0,
+        replication_rate=0.0,
+        balance=0.0,
+        wall_seconds=wall_seconds,
+    )
+
+
 def _validate_engine(engine: str) -> None:
     """Reject unknown engine names before any cell runs, with the list of
     valid names — not as a traceback from the middle of a grid."""
@@ -313,8 +351,22 @@ def _resolve_algorithms(
             f"algorithms must be 'auto', 'applicable', or a list of keys; "
             f"got {algorithms!r}; registered: {', '.join(algorithm_keys())}"
         )
-    keys = tuple(algorithms)
+    try:
+        keys = tuple(algorithms)
+    except TypeError:
+        # e.g. algorithms=None, or a bare int — a raw "'NoneType' object
+        # is not iterable" here used to escape to the caller.
+        raise ExperimentError(
+            f"algorithms must be 'auto', 'applicable', or a sequence of "
+            f"registry keys; got {algorithms!r}; "
+            f"registered: {', '.join(algorithm_keys())}"
+        ) from None
     for key in keys:
+        if not isinstance(key, str):
+            raise ExperimentError(
+                f"algorithm keys must be strings ('auto', 'applicable', "
+                f"or registry keys); got {key!r} in {algorithms!r}"
+            )
         if key == "auto":
             continue
         reason = get_spec(key).applicability(query)
@@ -516,16 +568,28 @@ class Sweep:
         progress: Callable[[RunRecord], None] | None = None,
         cells: Sequence[Cell] | None = None,
         obs: Observation | None = None,
+        cell_timeout: float | None = None,
     ) -> SweepResult:
-        """Execute every cell; optionally farm them across processes.
+        """Execute every cell through the shared fault-isolated executor.
 
-        In-process, consecutive cells at the same grid coordinates share
-        one database + statistics + plan (the grid enumerates algorithms
-        innermost, so an "applicable" sweep builds each workload once,
-        not once per algorithm).  The farm uses
-        :class:`~concurrent.futures.ProcessPoolExecutor` (non-daemonic
-        workers), so cells running the ``mp`` engine can still open that
-        engine's own pool inside a worker.
+        Execution goes through :func:`repro.service.jobs.execute_cells`
+        — the same battle-tested path ``repro serve`` uses — so the
+        library and the service share one executor.  In-process
+        (``max_workers`` of ``None``/1), cells at the same grid
+        coordinates share one database + statistics + plan regardless of
+        their order in the grid.  With more workers, cells are farmed
+        over non-daemonic worker processes (cells running the ``mp``
+        engine can still open that engine's own pool inside a worker).
+
+        Fault isolation: a cell whose preparation or round raises yields
+        a ``failed:<reason>`` record instead of aborting the sweep, and
+        — when ``cell_timeout`` seconds is given — a hung cell yields a
+        ``timeout`` record while its worker process is killed and
+        replaced.  Timeouts need process isolation, so ``cell_timeout``
+        forces the farm even for a single worker.  Healthy records are
+        returned in grid order either way; check
+        :attr:`RunRecord.status` (``ok`` / ``failed:<reason>`` /
+        ``timeout``) before trusting a row's measurements.
 
         ``progress`` (if given) is called with each finished record, in
         completion order — handy for long sweeps.  ``cells`` accepts a
@@ -538,95 +602,18 @@ class Sweep:
         Pool workers cannot share the parent's registry, so their cells
         are flipped to ``observe=True`` and their metrics travel back on
         the records, where the parent folds them in.  Per-cell progress
-        is logged on the ``repro.api.experiment`` logger either way.
+        is logged on the ``repro.service.jobs`` logger either way.
         """
+        from ..service.jobs import execute_cells
+
         if cells is None:
             cells = self.cells()
         if not cells:
             raise ExperimentError("the sweep grid is empty")
-        records: list[RunRecord] = []
-        total = len(cells)
-        done = 0
-
-        def _log_record(record: RunRecord) -> None:
-            _LOG.info(
-                "cell %d/%d: %s p=%d m=%d skew=%.2f seed=%d -> "
-                "%.0f bits (gap %s) in %.3fs",
-                done, total, record.algorithm, record.p, record.m,
-                record.skew, record.seed, record.max_load_bits,
-                "-" if record.optimality_gap is None
-                else format(record.optimality_gap, ".2f"),
-                record.wall_seconds,
-            )
-
-        if max_workers is None or max_workers <= 1 or len(cells) == 1:
-            with maybe_timed(obs, "sweep.run", cells=total, workers=1):
-                for _, group_iter in groupby(cells, key=_coordinates):
-                    group = list(group_iter)
-                    with maybe_timed(
-                        obs, "sweep.prepare", cells=len(group)
-                    ):
-                        db, query_plan = _prepare(group, obs=obs)
-                    for cell in group:
-                        record = _execute(cell, db, query_plan, obs=obs)
-                        done += 1
-                        _log_record(record)
-                        if progress is not None:
-                            progress(record)
-                        records.append(record)
-            return SweepResult(records=tuple(records))
-        workers = min(max_workers, len(cells))
-        if obs is not None:
-            # Workers cannot write to this process' registry; ship the
-            # request with each cell and read the digest off the record.
-            cells = [replace(cell, observe=True) for cell in cells]
-        slots: list[RunRecord | None] = [None] * len(cells)
-        pool_started = time.perf_counter()
-        busy_seconds = 0.0
-        with maybe_timed(obs, "sweep.run", cells=total, workers=workers), \
-                ProcessPoolExecutor(
-                    max_workers=workers,
-                    mp_context=pool_context(),
-                ) as executor:
-            submitted = time.perf_counter()
-            futures = {
-                executor.submit(run_cell, cell): index
-                for index, cell in enumerate(cells)
-            }
-            # Progress fires in completion order (live feedback even when
-            # an early cell is slow); records keep grid order regardless.
-            for future in as_completed(futures):
-                record = future.result()
-                done += 1
-                if obs is not None:
-                    # Queue wait: time between submission and completion
-                    # not spent executing the round (it also covers the
-                    # worker's workload generation + planning, so it is
-                    # an upper bound on pure queueing).
-                    turnaround = time.perf_counter() - submitted
-                    wait = max(0.0, turnaround - record.wall_seconds)
-                    obs.observe("sweep.queue_wait.seconds", wait)
-                    busy_seconds += record.wall_seconds
-                    if record.metrics is not None:
-                        obs.metrics.merge_snapshot({
-                            "counters":
-                                record.metrics.get("counters", {}),
-                            "gauges": record.metrics.get("gauges", {}),
-                        })
-                    obs.observe("sweep.cell.seconds", record.wall_seconds)
-                _log_record(record)
-                slots[futures[future]] = record
-                if progress is not None:
-                    progress(record)
-        if obs is not None:
-            elapsed = time.perf_counter() - pool_started
-            obs.set_gauge("sweep.pool_workers", workers)
-            if elapsed > 0:
-                obs.set_gauge(
-                    "sweep.pool_utilization",
-                    busy_seconds / (workers * elapsed),
-                )
-        records = [record for record in slots if record is not None]
+        records = execute_cells(
+            cells, max_workers=max_workers, cell_timeout=cell_timeout,
+            progress=progress, obs=obs,
+        )
         return SweepResult(records=tuple(records))
 
 

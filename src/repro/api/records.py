@@ -49,11 +49,23 @@ class RunRecord:
     # --- statistics method (a cell coordinate; declared after the
     # defaulted measurement fields only for dataclass ordering) ---------
     stats: str = "exact"              # "exact" or "sketch"
+    # --- execution status ----------------------------------------------
+    #: ``"ok"``, ``"failed:<reason>"``, or ``"timeout"``.  Non-``ok``
+    #: rows carry zeroed measurements: they exist so a sweep with a
+    #: poisoned cell still returns every healthy record *and* a
+    #: structured account of what went wrong, instead of losing the
+    #: whole grid to one exception.
+    status: str = "ok"
     # --- observability -------------------------------------------------
     #: a :meth:`repro.obs.MetricsRegistry.to_dict` digest for this cell
     #: (tuples routed, bits shipped per relation, per-server load
     #: histogram, phase timings); None when the cell ran unobserved.
     metrics: Mapping[str, object] | None = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the cell executed to completion."""
+        return self.status == "ok"
 
     @property
     def optimality_gap(self) -> float | None:
@@ -97,6 +109,7 @@ RUN_RECORD_SCHEMA: Mapping[str, tuple[tuple[type, ...], bool]] = {
     "algorithm_name": ((str,), False),
     "engine": ((str,), False),
     "stats": ((str,), False),
+    "status": ((str,), False),
     "predicted_load_bits": ((int, float), False),
     "lower_bound_bits": ((int, float), False),
     "max_load_bits": ((int, float), False),
@@ -142,6 +155,14 @@ def validate_record(data: Mapping[str, object]) -> None:
                 f"field {name!r} has type {type(value).__name__}, "
                 f"wants one of {[t.__name__ for t in types]}"
             )
+    status = data["status"]
+    if status not in ("ok", "timeout") and not (
+        isinstance(status, str) and status.startswith("failed:")
+    ):
+        raise RecordError(
+            f"field 'status' must be 'ok', 'timeout', or 'failed:<reason>'; "
+            f"got {status!r}"
+        )
 
 
 def records_to_json(records: Iterable[RunRecord], indent: int = 2) -> str:

@@ -1,6 +1,6 @@
-"""Command-line interface: bounds, planning, racing, sweeping, benching.
+"""Command-line interface: bounds, planning, racing, sweeping, serving.
 
-Seven subcommands::
+Nine subcommands::
 
     python -m repro bounds "q(x,y,z) :- S1(x,z), S2(y,z)" \
         --cardinality S1=4096 --cardinality S2=1024 --domain 100000 -p 64
@@ -22,6 +22,11 @@ Seven subcommands::
 
     python -m repro packings "C3(x,y,z) :- R(x,y), S(y,z), T(z,x)"
 
+    python -m repro serve --port 8765 --queue-size 32 --job-workers 2
+
+    python -m repro submit plan "q(x,y,z) :- S1(x,z), S2(y,z)" \
+        --server http://127.0.0.1:8765 --workload zipf -m 2000 -p 32
+
 ``bounds`` prints the share LP solution, the packing-vertex table and the
 optimal load; ``plan`` ranks every registered algorithm by predicted load
 (the :mod:`repro.api` planner) without running anything; ``race`` runs the
@@ -34,7 +39,11 @@ heavy hitters on one workload (recall/precision, frequency error, pass
 times); ``bench`` runs a pinned perf suite — ``--suite core`` into
 ``BENCH_core.json``, ``--suite sketch`` (exact-vs-sketch planner regret
 and fidelity gates) into ``BENCH_sketch.json`` — and gates regressions;
-``packings`` prints ``pk(q)``, ``tau*`` and the cover numbers.
+``packings`` prints ``pk(q)``, ``tau*`` and the cover numbers;
+``serve`` runs the long-lived plan/sweep service (async job queue with
+backpressure, per-catalog plan/statistics cache, fault-isolated sweep
+cells) and ``submit`` is its client — submit a ``plan``, ``stats`` or
+``sweep`` job, poll to completion, print the result.
 
 Observability: ``race``, ``sweep`` and ``bench`` accept ``--trace FILE``
 (write a Chrome-trace JSON of the run's nested spans — open it at
@@ -390,9 +399,14 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     _LOG.info("sweep: %d cells, engine=%s, workers=%s",
               len(cells), args.engine, args.workers)
     try:
-        result = sweep.run(max_workers=args.workers, cells=cells, obs=obs)
+        result = sweep.run(max_workers=args.workers, cells=cells, obs=obs,
+                           cell_timeout=args.cell_timeout)
     except ValueError as exc:
         raise SystemExit(str(exc)) from None
+    failed = sum(1 for record in result if not record.ok)
+    if failed:
+        _LOG.warning("sweep: %d of %d cells did not finish cleanly "
+                     "(see the 'status' column)", failed, len(result))
     if args.format == "json":
         payload = result.to_json()
     elif args.format == "csv":
@@ -467,6 +481,121 @@ def cmd_bench(args: argparse.Namespace) -> int:
     if args.baseline:
         _LOG.info("bench: no regressions vs %s (tolerance %.0f%%)",
                   args.baseline, args.max_regression * 100)
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the long-lived plan/sweep service until interrupted."""
+    from .service import ReproService
+
+    service = ReproService(
+        host=args.host,
+        port=args.port,
+        queue_size=args.queue_size,
+        job_workers=args.job_workers,
+        cell_workers=args.workers,
+        cell_timeout=args.cell_timeout,
+        cache_capacity=args.cache_size,
+    )
+    host, port = service.address
+    # The bound address goes to stdout so scripts (and CI) can discover
+    # an ephemeral --port 0 assignment.
+    print(f"http://{host}:{port}", flush=True)
+    _LOG.info(
+        "repro service on http://%s:%d (queue %d, %d job workers, "
+        "cell workers %s, cell timeout %s)",
+        host, port, args.queue_size, args.job_workers,
+        args.workers or "serial",
+        f"{args.cell_timeout}s" if args.cell_timeout else "none",
+    )
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        _LOG.info("interrupted; shutting down")
+        service.shutdown()
+    return 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    """Submit one job to a running service, poll it, print the result."""
+    from .api.records import RunRecord
+    from .service.client import (
+        ServiceBusyError,
+        ServiceClient,
+        ServiceClientError,
+    )
+
+    kind = args.job_kind
+    if kind == "sweep":
+        algorithms: object = args.algorithms
+        if algorithms not in ("applicable", "auto"):
+            algorithms = list(_parse_grid(algorithms, str, "--algorithms"))
+        spec = {
+            "query": args.query,
+            "workload": args.workload,
+            "p_values": list(_parse_grid(args.p, int, "--p")),
+            "m_values": list(_parse_grid(args.m, int, "--m")),
+            "skews": list(_parse_grid(args.skew, float, "--skew")),
+            "seeds": list(_parse_grid(args.seeds, int, "--seeds")),
+            "algorithms": algorithms,
+            "stats": list(_parse_grid(args.stats, str, "--stats")),
+            "engine": args.engine,
+            "verify": args.verify,
+        }
+        if args.workers is not None:
+            spec["workers"] = args.workers
+        if args.cell_timeout is not None:
+            spec["cell_timeout"] = args.cell_timeout
+    else:
+        spec = {
+            "query": args.query,
+            "workload": args.workload,
+            "m": args.m,
+            "skew": args.skew,
+            "seed": args.seed,
+            "p": args.p,
+            "stats": args.stats,
+        }
+
+    client = ServiceClient(args.server)
+    try:
+        job = client.submit(kind, spec)
+        job_id = job["id"]
+        _LOG.info("submitted %s job %s to %s", kind, job_id, args.server)
+        status = client.wait(job_id, timeout=args.timeout,
+                             interval=args.poll_interval)
+        if status["state"] != "done":
+            raise SystemExit(
+                f"job {job_id} {status['state']}: {status.get('error')}"
+            )
+        result = client.result(job_id)["result"]
+    except ServiceBusyError as exc:
+        raise SystemExit(
+            f"server rejected the job (backpressure): {exc}"
+        ) from None
+    except ServiceClientError as exc:
+        raise SystemExit(str(exc)) from None
+
+    if kind == "sweep" and args.format != "json":
+        from .api.experiment import SweepResult
+
+        records = tuple(
+            RunRecord.from_dict(entry) for entry in result["records"]
+        )
+        sweep_result = SweepResult(records=records)
+        payload = (sweep_result.to_csv() if args.format == "csv"
+                   else sweep_result.summary())
+    else:
+        payload = json.dumps(result, indent=2)
+    output = getattr(args, "output", None)
+    if output in (None, "-"):
+        print(payload)
+    else:
+        with open(output, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+            if not payload.endswith("\n"):
+                handle.write("\n")
+        _LOG.info("wrote the %s result to %s", kind, output)
     return 0
 
 
@@ -577,6 +706,10 @@ def build_parser() -> argparse.ArgumentParser:
                        default="json")
     sweep.add_argument("--workers", type=int, default=None,
                        help="farm cells across N worker processes")
+    sweep.add_argument("--cell-timeout", type=float, default=None,
+                       help="kill any cell running longer than this many "
+                            "seconds and record it with status 'timeout' "
+                            "(forces process isolation)")
     sweep.add_argument("--output", default=None,
                        help="write records to this file instead of stdout")
     _add_observability_arguments(sweep)
@@ -628,6 +761,102 @@ def build_parser() -> argparse.ArgumentParser:
     _add_observability_arguments(bench)
     _add_logging_arguments(bench)
     bench.set_defaults(func=cmd_bench)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the long-lived plan/sweep service (async job queue "
+             "with backpressure + per-catalog plan/statistics cache)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="TCP port (0 binds an ephemeral port; the "
+                            "bound URL is printed to stdout)")
+    serve.add_argument("--queue-size", type=int, default=32,
+                       help="max queued jobs before submissions are "
+                            "rejected with HTTP 429 (default %(default)s)")
+    serve.add_argument("--job-workers", type=int, default=2,
+                       help="concurrent job worker threads "
+                            "(default %(default)s)")
+    serve.add_argument("--workers", type=int, default=None,
+                       help="farm each sweep job's cells across N worker "
+                            "processes (default: in-thread, cached)")
+    serve.add_argument("--cell-timeout", type=float, default=None,
+                       help="per-cell deadline in seconds for sweep jobs; "
+                            "late cells are recorded as 'timeout' and "
+                            "their worker replaced")
+    serve.add_argument("--cache-size", type=int, default=64,
+                       help="per-section catalog cache capacity "
+                            "(default %(default)s)")
+    _add_logging_arguments(serve)
+    serve.set_defaults(func=cmd_serve)
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit a plan/stats/sweep job to a running 'repro serve' "
+             "instance, poll to completion, print the result",
+    )
+    submit_sub = submit.add_subparsers(dest="job_kind", required=True)
+
+    def _add_submit_common(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument("--server", default="http://127.0.0.1:8765",
+                            help="service base URL (default %(default)s)")
+        parser.add_argument("--timeout", type=float, default=300.0,
+                            help="give up polling after this many seconds "
+                                 "(default %(default)s)")
+        parser.add_argument("--poll-interval", type=float, default=0.2,
+                            help="seconds between status polls "
+                                 "(default %(default)s)")
+        _add_logging_arguments(parser)
+        parser.set_defaults(func=cmd_submit)
+
+    for kind, blurb in (
+        ("plan", "rank algorithms for one catalog (served, cached)"),
+        ("stats", "build one catalog's statistics (served, cached)"),
+    ):
+        job = submit_sub.add_parser(kind, help=blurb)
+        job.add_argument("query")
+        _add_workload_arguments(job)
+        job.add_argument("-p", type=int, default=16)
+        job.add_argument("--stats", choices=list(STATS_METHODS),
+                         default="exact",
+                         help="statistics method (default %(default)s)")
+        _add_submit_common(job)
+
+    sweep_job = submit_sub.add_parser(
+        "sweep", help="run a full grid on the server with fault isolation"
+    )
+    sweep_job.add_argument("query")
+    sweep_job.add_argument("--workload", choices=list(WORKLOAD_KINDS),
+                           default="zipf")
+    sweep_job.add_argument("--p", default="16",
+                           help="comma-separated server counts")
+    sweep_job.add_argument("--m", default="1000",
+                           help="comma-separated relation cardinalities")
+    sweep_job.add_argument("--skew", default="1.0",
+                           help="comma-separated skew parameters")
+    sweep_job.add_argument("--seeds", default="0",
+                           help="comma-separated generator seeds")
+    sweep_job.add_argument("--algorithms", default="applicable",
+                           help="'applicable', 'auto', or comma-separated "
+                                "registry keys")
+    sweep_job.add_argument("--stats", default="exact",
+                           help="comma-separated statistics methods")
+    sweep_job.add_argument("--engine", choices=available_engines(),
+                           default="batched")
+    sweep_job.add_argument("--verify", action="store_true",
+                           help="verify completeness in every cell (slow)")
+    sweep_job.add_argument("--workers", type=int, default=None,
+                           help="override the server's per-job cell "
+                                "worker count")
+    sweep_job.add_argument("--cell-timeout", type=float, default=None,
+                           help="override the server's per-cell deadline")
+    sweep_job.add_argument("--format", choices=["json", "csv", "summary"],
+                           default="json")
+    sweep_job.add_argument("--output", default=None,
+                           help="write the result to this file instead "
+                                "of stdout")
+    _add_submit_common(sweep_job)
+
     return parser
 
 

@@ -1,0 +1,126 @@
+"""Per-catalog content-addressed caching for the plan service.
+
+A *catalog* here is everything that determines a statistics pass or a
+plan: the query text, the workload coordinates (kind, m, skew, seed,
+domain), ``p`` and the statistics method.  :func:`catalog_key` hashes
+those parts canonically, so two requests that describe the same catalog
+— regardless of dict ordering or which client sent them — address the
+same cache slot.  "Communication Cost in Parallel Query Processing"
+(PAPERS.md) is the motivation: statistics and plans are the expensive,
+reusable halves of a request, so a long-lived server should compute them
+once per catalog, not once per process.
+
+:class:`CatalogCache` keeps three LRU sections — parsed queries,
+heavy-hitter/sketch statistics, ranked plans — behind one lock, and
+reports every lookup through the observability layer:
+
+* counters ``service.cache.hit`` / ``service.cache.miss`` (and the
+  per-section ``service.cache.<section>.hit/miss``),
+* gauge ``service.cache.entries``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from collections import OrderedDict
+from typing import Callable
+
+from ..obs import Observation
+
+#: The cache sections a :class:`CatalogCache` maintains.
+SECTIONS = ("query", "stats", "plan")
+
+
+def catalog_key(**parts: object) -> str:
+    """A stable content hash over the request parts that define a catalog.
+
+    Parts are JSON-canonicalized (sorted keys, no whitespace) before
+    hashing, so key equality is structural, not representational.
+    """
+    payload = json.dumps(parts, sort_keys=True, separators=(",", ":"),
+                         default=str)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class CatalogCache:
+    """Bounded LRU sections for parsed queries, statistics and plans.
+
+    Thread-safe: the server's job workers and HTTP handlers share one
+    instance.  The builder runs *outside* the lock, so a slow statistics
+    pass never blocks unrelated lookups; if two threads race on the same
+    key, both build and the second result wins (builds are deterministic,
+    so the duplicates are identical).
+    """
+
+    def __init__(self, capacity: int = 64,
+                 obs: Observation | None = None) -> None:
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.obs = obs
+        self._lock = threading.Lock()
+        self._sections: dict[str, OrderedDict[str, object]] = {
+            section: OrderedDict() for section in SECTIONS
+        }
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return sum(len(entries) for entries in self._sections.values())
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def _count(self, section: str, hit: bool) -> None:
+        outcome = "hit" if hit else "miss"
+        if hit:
+            self.hits += 1
+        else:
+            self.misses += 1
+        if self.obs is not None:
+            self.obs.count(f"service.cache.{outcome}")
+            self.obs.count(f"service.cache.{section}.{outcome}")
+            self.obs.set_gauge("service.cache.entries", len(self))
+
+    def lookup(self, section: str, key: str) -> tuple[bool, object]:
+        """``(hit, value)`` for ``key``; a hit refreshes LRU recency."""
+        if section not in self._sections:
+            raise KeyError(f"unknown cache section {section!r}")
+        with self._lock:
+            entries = self._sections[section]
+            if key in entries:
+                entries.move_to_end(key)
+                hit, value = True, entries[key]
+            else:
+                hit, value = False, None
+        self._count(section, hit)
+        return hit, value
+
+    def store(self, section: str, key: str, value: object) -> None:
+        with self._lock:
+            entries = self._sections[section]
+            entries[key] = value
+            entries.move_to_end(key)
+            while len(entries) > self.capacity:
+                entries.popitem(last=False)
+
+    def get_or_build(
+        self, section: str, key: str, builder: Callable[[], object]
+    ) -> object:
+        """The cached value for ``key``, building (and storing) on a miss."""
+        hit, value = self.lookup(section, key)
+        if hit:
+            return value
+        value = builder()
+        self.store(section, key, value)
+        return value
+
+    def clear(self) -> None:
+        with self._lock:
+            for entries in self._sections.values():
+                entries.clear()

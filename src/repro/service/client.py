@@ -1,0 +1,124 @@
+"""A stdlib HTTP client for the repro service (used by ``repro submit``).
+
+:class:`ServiceClient` speaks the JSON protocol of
+:mod:`repro.service.server` over :mod:`urllib.request` — submit, poll,
+fetch results, cancel, read metrics, shut the server down.  Error
+responses become :class:`ServiceClientError` (with the HTTP status
+attached); a 429 queue rejection becomes :class:`ServiceBusyError` so
+callers can implement their own retry policy against backpressure.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+
+class ServiceClientError(RuntimeError):
+    """An error response from the service (``.status`` holds the code)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServiceBusyError(ServiceClientError):
+    """The server's bounded job queue rejected the submission (HTTP 429)."""
+
+
+class ServiceClient:
+    """Talk to one ``repro serve`` instance at ``base_url``."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport -------------------------------------------------------
+    def _request(self, method: str, path: str,
+                 payload: object | None = None) -> dict:
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read().decode("utf-8")).get(
+                    "error", exc.reason
+                )
+            except (ValueError, OSError):
+                message = str(exc.reason)
+            if exc.code == 429:
+                raise ServiceBusyError(exc.code, message) from None
+            raise ServiceClientError(exc.code, message) from None
+        except urllib.error.URLError as exc:
+            raise ServiceClientError(
+                0, f"cannot reach {self.base_url}: {exc.reason}"
+            ) from None
+
+    # -- protocol --------------------------------------------------------
+    def health(self) -> dict:
+        return self._request("GET", "/v1/health")
+
+    def metrics(self) -> dict:
+        return self._request("GET", "/v1/metrics")
+
+    def submit(self, kind: str, spec: dict) -> dict:
+        """Submit a job; returns its status document (with the id)."""
+        return self._request("POST", "/v1/jobs",
+                             {"kind": kind, "spec": spec})
+
+    def status(self, job_id: str) -> dict:
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def result(self, job_id: str) -> dict:
+        """The result payload of a ``done`` job (409 until then)."""
+        return self._request("GET", f"/v1/jobs/{job_id}/result")
+
+    def cancel(self, job_id: str) -> bool:
+        return bool(
+            self._request("DELETE", f"/v1/jobs/{job_id}").get("cancelled")
+        )
+
+    def shutdown(self) -> dict:
+        return self._request("POST", "/v1/shutdown")
+
+    def wait(self, job_id: str, timeout: float = 120.0,
+             interval: float = 0.05) -> dict:
+        """Poll until the job is terminal; return its final status.
+
+        Raises :class:`ServiceClientError` on timeout — never silently
+        returns a non-terminal job.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(job_id)
+            if status["state"] in ("done", "failed", "cancelled"):
+                return status
+            if time.monotonic() >= deadline:
+                raise ServiceClientError(
+                    0, f"job {job_id} still {status['state']} "
+                       f"after {timeout:.0f}s"
+                )
+            time.sleep(interval)
+
+    def wait_until_healthy(self, timeout: float = 30.0,
+                           interval: float = 0.1) -> dict:
+        """Poll ``/v1/health`` until the server answers (startup races)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                return self.health()
+            except ServiceClientError:
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(interval)

@@ -57,6 +57,29 @@ class TestRegistryErrorMessages:
         with pytest.raises(Exception, match="hashjoin"):
             sweep.cells()
 
+    def test_none_algorithms_is_an_experiment_error(self):
+        # Regression: this used to escape as a raw TypeError from
+        # ``tuple(None)`` instead of naming the accepted forms.
+        sweep = Sweep(query=JOIN_TEXT, p_values=(4,), m_values=(20,),
+                      algorithms=None)
+        with pytest.raises(ExperimentError) as excinfo:
+            sweep.cells()
+        message = str(excinfo.value)
+        assert "'auto'" in message and "'applicable'" in message
+        assert "None" in message and "hashjoin" in message
+
+    def test_non_iterable_algorithms_is_an_experiment_error(self):
+        sweep = Sweep(query=JOIN_TEXT, p_values=(4,), m_values=(20,),
+                      algorithms=42)
+        with pytest.raises(ExperimentError, match="sequence of"):
+            sweep.cells()
+
+    def test_non_string_algorithm_key_is_an_experiment_error(self):
+        sweep = Sweep(query=JOIN_TEXT, p_values=(4,), m_values=(20,),
+                      algorithms=("hashjoin", 7))
+        with pytest.raises(ExperimentError, match="strings"):
+            sweep.cells()
+
 
 class TestWorkloadSpec:
     def test_build_is_deterministic(self):

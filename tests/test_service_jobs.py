@@ -1,0 +1,347 @@
+"""The fault-isolated cell executor and the service job queue."""
+
+import time
+
+import pytest
+
+from repro.api import Cell, Sweep, failure_record, validate_record
+from repro.api import experiment as experiment_module
+from repro.api.records import RUN_RECORD_FIELDS
+from repro.api.registry import AlgorithmSpec, register, unregister
+from repro.mpc.execution import OneRoundAlgorithm
+from repro.obs import Observation
+from repro.service import (
+    BackpressureError,
+    CatalogCache,
+    JobQueue,
+    ServiceError,
+    execute_cells,
+)
+
+JOIN_TEXT = "q(x, y, z) :- S1(x, z), S2(y, z)"
+
+
+class PoisonAlgorithm(OneRoundAlgorithm):
+    """Passes planning, then raises when its routing plan is built."""
+
+    def __init__(self, query):
+        super().__init__(query, "poison")
+
+    def routing_plan(self, db, p, hashes):
+        raise ValueError("poisoned cell")
+
+    def predicted_load_bits(self, stats, p):
+        return 1.0
+
+
+class HangAlgorithm(OneRoundAlgorithm):
+    """Sleeps far past any test deadline — a hung worker stand-in."""
+
+    def __init__(self, query):
+        super().__init__(query, "hang")
+
+    def routing_plan(self, db, p, hashes):
+        time.sleep(300)
+        raise AssertionError("the hang should have been killed")
+
+    def predicted_load_bits(self, stats, p):
+        return 1.0
+
+
+@pytest.fixture
+def poison_registry():
+    """Register the poison/hang algorithms; always clean up."""
+    register(AlgorithmSpec(
+        key="poison", algorithm_class=PoisonAlgorithm,
+        factory=lambda query, stats, p: PoisonAlgorithm(query),
+        summary="test: raises while routing",
+    ))
+    register(AlgorithmSpec(
+        key="hang", algorithm_class=HangAlgorithm,
+        factory=lambda query, stats, p: HangAlgorithm(query),
+        summary="test: sleeps forever",
+    ))
+    try:
+        yield
+    finally:
+        unregister("poison")
+        unregister("hang")
+
+
+def _sweep(algorithms, **overrides):
+    config = dict(
+        query=JOIN_TEXT, workload="zipf", p_values=(4,), m_values=(50,),
+        skews=(0.0,), seeds=(0,), algorithms=algorithms,
+    )
+    config.update(overrides)
+    return Sweep(**config)
+
+
+class TestSerialFaultIsolation:
+    def test_failing_cell_yields_failed_record(self, poison_registry):
+        result = _sweep(("hashjoin", "poison", "hypercube-lp")).run()
+        assert [r.algorithm for r in result] == \
+            ["hashjoin", "poison", "hypercube-lp"]
+        statuses = [r.status for r in result]
+        assert statuses[0] == "ok" and statuses[2] == "ok"
+        assert statuses[1].startswith("failed:")
+        assert "poisoned cell" in statuses[1]
+        # Healthy rows keep real measurements; the failed row is zeroed.
+        assert result.records[0].max_load_bits > 0
+        assert result.records[1].max_load_bits == 0.0
+        # Every row (including the failure) passes the schema.
+        for record in result:
+            validate_record(record.to_dict())
+
+    def test_prepare_failure_fails_the_whole_group(self):
+        # A cell with an invalid stats method slips past cells() when
+        # built by hand; preparation must fail it structurally, not
+        # abort the sweep.
+        good = Cell(query=JOIN_TEXT, workload="zipf", m=40, skew=0.0,
+                    seed=0, p=4, algorithm="hashjoin")
+        bad = Cell(query=JOIN_TEXT, workload="zipf", m=40, skew=0.0,
+                   seed=0, p=4, algorithm="hashjoin", stats="psychic")
+        records = execute_cells([good, bad])
+        assert records[0].status == "ok"
+        assert records[1].status.startswith("failed:")
+        assert "psychic" in records[1].status
+
+    def test_failure_counters_reach_the_metrics(self, poison_registry):
+        obs = Observation.create()
+        _sweep(("hashjoin", "poison")).run(obs=obs)
+        counters = {name: c.value for name, c in obs.metrics.counters.items()}
+        assert counters["sweep.cells.ok"] == 1
+        assert counters["sweep.cells.failed"] == 1
+
+
+class TestFarmFaultIsolation:
+    """The satellite regression test: one crashing worker cell must not
+    lose the completed records (the old pool path dropped everything)."""
+
+    def test_surviving_records_returned_with_failure_recorded(
+        self, poison_registry
+    ):
+        result = _sweep(("hashjoin", "poison", "hypercube-lp",
+                         "hypercube-equal")).run(max_workers=2)
+        assert len(result) == 4
+        by_algorithm = {r.algorithm: r for r in result}
+        assert by_algorithm["poison"].status.startswith("failed:")
+        assert "poisoned cell" in by_algorithm["poison"].status
+        for key in ("hashjoin", "hypercube-lp", "hypercube-equal"):
+            assert by_algorithm[key].status == "ok"
+            assert by_algorithm[key].max_load_bits > 0
+        # Grid order survives the completion order.
+        assert [r.algorithm for r in result] == \
+            ["hashjoin", "poison", "hypercube-lp", "hypercube-equal"]
+
+    def test_timeout_kills_and_replaces_the_worker(self, poison_registry):
+        obs = Observation.create()
+        started = time.perf_counter()
+        result = _sweep(("hashjoin", "hang", "hypercube-lp")).run(
+            max_workers=2, cell_timeout=1.5, obs=obs,
+        )
+        elapsed = time.perf_counter() - started
+        assert elapsed < 60, "the hung cell was not killed"
+        by_algorithm = {r.algorithm: r for r in result}
+        assert by_algorithm["hang"].status == "timeout"
+        assert by_algorithm["hang"].wall_seconds >= 1.5
+        # The replacement worker finished the rest of the grid.
+        assert by_algorithm["hashjoin"].status == "ok"
+        assert by_algorithm["hypercube-lp"].status == "ok"
+        counters = {name: c.value for name, c in obs.metrics.counters.items()}
+        assert counters["sweep.cells.timeout"] == 1
+        assert counters["sweep.cells.ok"] == 2
+
+    def test_mixed_failure_and_timeout_in_one_grid(self, poison_registry):
+        """The acceptance scenario: one raising cell + one hung cell in
+        the same sweep; every healthy record comes back in grid order
+        with structured statuses for the bad cells."""
+        result = _sweep(("hashjoin", "poison", "hang", "hypercube-lp")).run(
+            max_workers=2, cell_timeout=1.5,
+        )
+        assert [r.algorithm for r in result] == \
+            ["hashjoin", "poison", "hang", "hypercube-lp"]
+        assert [r.status.split(":")[0] for r in result] == \
+            ["ok", "failed", "timeout", "ok"]
+        for record in result:
+            validate_record(record.to_dict())
+
+    def test_cell_timeout_forces_process_isolation(self, poison_registry):
+        # Even without max_workers, a timeout must be enforceable — the
+        # executor runs the farm with one worker.
+        result = _sweep(("hang",)).run(cell_timeout=1.0)
+        assert result.records[0].status == "timeout"
+
+    def test_invalid_timeout_rejected(self):
+        with pytest.raises(ServiceError, match="positive"):
+            execute_cells(_sweep("applicable").cells(), cell_timeout=-1)
+
+
+class TestSerialGrouping:
+    """Shuffled cells must not re-run workload generation + planning once
+    per cell: grouping is by coordinate key, not contiguity."""
+
+    def _interleaved_cells(self):
+        cells = _sweep(("hashjoin", "hypercube-lp"),
+                       skews=(0.0, 1.2)).cells()
+        assert len(cells) == 4
+        # Interleave the two coordinate groups: A B A B.
+        return [cells[0], cells[2], cells[1], cells[3]]
+
+    def test_prepare_runs_once_per_distinct_coordinates(self, monkeypatch):
+        calls = []
+        real_prepare = experiment_module._prepare
+
+        def counting_prepare(cells, obs=None):
+            calls.append(len(cells))
+            return real_prepare(cells, obs=obs)
+
+        monkeypatch.setattr(experiment_module, "_prepare", counting_prepare)
+        shuffled = self._interleaved_cells()
+        records = execute_cells(shuffled)
+        assert len(calls) == 2, (
+            f"expected one _prepare per distinct coordinate group, "
+            f"got {len(calls)}"
+        )
+        assert calls == [2, 2]
+        # Records still come back in the caller's (shuffled) order.
+        assert [(r.skew, r.algorithm) for r in records] == \
+            [(c.skew, c.algorithm) for c in shuffled]
+
+    def test_shuffled_equals_sorted_results(self):
+        shuffled = self._interleaved_cells()
+        by_key = {
+            (r.skew, r.algorithm): r.max_load_bits
+            for r in execute_cells(shuffled)
+        }
+        sorted_by_key = {
+            (r.skew, r.algorithm): r.max_load_bits
+            for r in _sweep(("hashjoin", "hypercube-lp"),
+                            skews=(0.0, 1.2)).run()
+        }
+        assert by_key == sorted_by_key
+
+    def test_serial_cache_reuses_prepared_contexts(self, monkeypatch):
+        calls = []
+        real_prepare = experiment_module._prepare
+
+        def counting_prepare(cells, obs=None):
+            calls.append(len(cells))
+            return real_prepare(cells, obs=obs)
+
+        monkeypatch.setattr(experiment_module, "_prepare", counting_prepare)
+        cache = CatalogCache()
+        cells = _sweep(("hashjoin",)).cells()
+        execute_cells(cells, cache=cache)
+        execute_cells(cells, cache=cache)
+        assert len(calls) == 1, "the second run should hit the cache"
+        assert cache.hits == 1 and cache.misses == 1
+
+
+class TestFailureRecord:
+    def test_status_round_trips_the_schema(self):
+        cell = Cell(query=JOIN_TEXT, workload="zipf", m=40, skew=1.0,
+                    seed=0, p=4, algorithm="hashjoin")
+        record = failure_record(cell, "failed:ValueError: boom",
+                                wall_seconds=0.5)
+        payload = record.to_dict()
+        validate_record(payload)
+        assert payload["status"] == "failed:ValueError: boom"
+        assert payload["domain"] == 160  # zipf default 4*m
+        assert not record.ok
+
+    def test_status_column_reaches_the_csv(self):
+        cell = Cell(query=JOIN_TEXT, workload="zipf", m=40, skew=1.0,
+                    seed=0, p=4, algorithm="hashjoin")
+        result = execute_cells([cell])
+        csv_text = _sweep(("hashjoin",)).run().to_csv()
+        header = csv_text.splitlines()[0].split(",")
+        assert "status" in header
+        assert header == list(RUN_RECORD_FIELDS)
+        assert result[0].status == "ok"
+
+    def test_bad_status_string_rejected(self):
+        cell = Cell(query=JOIN_TEXT, workload="zipf", m=40, skew=1.0,
+                    seed=0, p=4, algorithm="hashjoin")
+        payload = failure_record(cell, "timeout").to_dict()
+        validate_record(payload)
+        payload["status"] = "exploded"
+        with pytest.raises(Exception, match="status"):
+            validate_record(payload)
+
+
+class TestJobQueueUnit:
+    def test_unknown_kind_rejected(self):
+        queue = JobQueue(workers=0)
+        with pytest.raises(ServiceError, match="unknown job kind"):
+            queue.submit("race", {"query": JOIN_TEXT})
+        queue.shutdown()
+
+    def test_spec_needs_a_query(self):
+        queue = JobQueue(workers=0)
+        with pytest.raises(ServiceError, match="query"):
+            queue.submit("plan", {})
+        queue.shutdown()
+
+    def test_backpressure_rejection_when_full(self):
+        queue = JobQueue(queue_size=2, workers=0)
+        queue.submit("plan", {"query": JOIN_TEXT})
+        queue.submit("plan", {"query": JOIN_TEXT})
+        with pytest.raises(BackpressureError, match="full"):
+            queue.submit("plan", {"query": JOIN_TEXT})
+        # The rejected job leaves no trace in the job table.
+        assert len(queue.jobs()) == 2
+        counters = queue.obs.metrics.counters
+        assert counters["service.jobs.rejected"].value == 1
+        queue.shutdown()
+
+    def test_cancel_queued_job(self):
+        queue = JobQueue(queue_size=4, workers=0)
+        job = queue.submit("plan", {"query": JOIN_TEXT})
+        assert queue.cancel(job.id) is True
+        assert queue.status(job.id)["state"] == "cancelled"
+        with pytest.raises(ServiceError, match="cancelled"):
+            queue.result(job.id)
+        # Cancelling twice is a no-op, not an error.
+        assert queue.cancel(job.id) is False
+        queue.shutdown()
+
+    def test_unknown_job_id(self):
+        queue = JobQueue(workers=0)
+        with pytest.raises(ServiceError, match="unknown job"):
+            queue.status("job-999999")
+        queue.shutdown()
+
+    def test_result_not_ready(self):
+        queue = JobQueue(workers=0)
+        job = queue.submit("plan", {"query": JOIN_TEXT})
+        with pytest.raises(ServiceError, match="not ready"):
+            queue.result(job.id)
+        queue.shutdown()
+
+    def test_bad_spec_fails_the_job_not_the_queue(self):
+        queue = JobQueue(workers=1)
+        bad = queue.submit("plan", {"query": "this is not a query"})
+        good = queue.submit("plan", {"query": JOIN_TEXT, "p": 4, "m": 40})
+        assert queue.join(timeout=60)
+        assert queue.status(bad.id)["state"] == "failed"
+        assert queue.status(bad.id)["error"]
+        assert queue.status(good.id)["state"] == "done"
+        queue.shutdown()
+
+    def test_sweep_job_reports_failures(self, poison_registry):
+        queue = JobQueue(workers=1)
+        job = queue.submit("sweep", {
+            "query": JOIN_TEXT, "workload": "zipf", "p_values": [4],
+            "m_values": [40], "skews": [0.0],
+            "algorithms": ["hashjoin", "poison"],
+        })
+        assert queue.join(timeout=120)
+        result = queue.result(job.id)
+        assert result["count"] == 2
+        assert result["failed"] == 1
+        statuses = [entry["status"] for entry in result["records"]]
+        assert statuses[0] == "ok" and statuses[1].startswith("failed:")
+        for entry in result["records"]:
+            validate_record(entry)
+        queue.shutdown()
