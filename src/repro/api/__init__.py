@@ -16,8 +16,16 @@ algorithms as *experiments* rather than hand-assembled scripts:
    suite behind ``repro bench`` and the committed ``BENCH_core.json``;
    :func:`run_sketch_bench` is its sketch-statistics twin (exact-vs-sketch
    planner regret and fidelity, ``BENCH_sketch.json``);
+   :func:`run_rounds_bench` prices the multi-round subsystem
+   (``BENCH_rounds.json``); :func:`run_suite` dispatches by suite name;
    :func:`compare_bench` is the CI regression gate and
-   :func:`sketch_gate_failures` the sketch suite's absolute one.
+   :func:`suite_gate_failures` the per-suite absolute one.
+
+The multi-round subsystem itself (two-round triangle, the generic
+round-composed join, ``run_rounds``, the ``tradeoff`` curve) lives in
+:mod:`repro.rounds`; the planner ranks its algorithms whenever
+``plan(..., max_rounds >= 2)`` admits them, and :class:`Sweep` exposes
+the budget as its ``rounds`` axis.
 
 Typical use::
 
@@ -32,15 +40,22 @@ Typical use::
 """
 
 from .bench import (
+    BENCH_GATES,
     BENCH_SCHEMA,
+    BENCH_SUITES,
     BenchError,
     bench_sweep,
     calibrate,
     compare_bench,
+    rounds_bench_sweep,
+    rounds_gate_failures,
     run_bench,
+    run_rounds_bench,
     run_sketch_bench,
+    run_suite,
     sketch_bench_sweep,
     sketch_gate_failures,
+    suite_gate_failures,
     validate_bench,
 )
 from .experiment import (
@@ -86,15 +101,22 @@ from .registry import (
 )
 
 __all__ = [
+    "BENCH_GATES",
     "BENCH_SCHEMA",
+    "BENCH_SUITES",
     "BenchError",
     "bench_sweep",
     "calibrate",
     "compare_bench",
+    "rounds_bench_sweep",
+    "rounds_gate_failures",
     "run_bench",
+    "run_rounds_bench",
     "run_sketch_bench",
+    "run_suite",
     "sketch_bench_sweep",
     "sketch_gate_failures",
+    "suite_gate_failures",
     "validate_bench",
     "Cell",
     "Experiment",

@@ -27,6 +27,17 @@ statistics methods and measures what sketch estimation error costs the
 planner; :func:`sketch_gate_failures` holds its absolute acceptance
 gates (full heavy-hitter recall, bit-identical shard merges, regret
 within 10% of exact).
+
+A third suite, :func:`run_rounds_bench` (``repro bench --suite rounds``,
+persisted as ``BENCH_rounds.json``), runs a pinned *triangle* grid with
+a round budget of two and prices the multi-round subsystem: two-round
+wall-clock, optimality gap versus the multi-round (repartition) lower
+bound, and the two-round speedup over the best one-round algorithm —
+predicted and measured — which :func:`rounds_gate_failures` gates
+absolutely (the two-round triangle must win both on every grid cell).
+
+:data:`BENCH_SUITES` maps suite names to runners; :func:`run_suite`
+dispatches by name and lists the valid suites on a miss.
 """
 
 from __future__ import annotations
@@ -561,3 +572,246 @@ def sketch_gate_failures(document: Mapping) -> list[str]:
             f"the exact planner's"
         )
     return failures
+
+
+# ----------------------------------------------------------------------
+# the rounds suite (``repro bench --suite rounds`` / BENCH_rounds.json)
+# ----------------------------------------------------------------------
+
+#: The pinned triangle grid — the query where one communication round is
+#: provably expensive (Example 3.7's p^{1/3} replication) and two rounds
+#: are not.  Same invalidation rule as the core grid.
+ROUNDS_QUERY = "q(x, y, z) :- R(x, y), S(y, z), T(z, x)"
+ROUNDS_FULL_GRID = {
+    "workload": "zipf",
+    "p_values": (8, 16),
+    "m_values": (300,),
+    "skews": (0.0, 0.8, 1.5),
+    "seeds": (0,),
+}
+ROUNDS_QUICK_GRID = {
+    "workload": "zipf",
+    "p_values": (8,),
+    "m_values": (160,),
+    "skews": (0.0, 1.5),
+    "seeds": (0,),
+}
+
+_TWO_ROUND_KEY = "two-round-triangle"
+
+
+def rounds_bench_sweep(quick: bool = False) -> Sweep:
+    """The pinned triangle grid under a round budget of two.
+
+    ``algorithms="applicable"`` with ``rounds=2`` measures every
+    one-round algorithm that accepts the triangle *and* both multi-round
+    algorithms, so each cell prices the round/load tradeoff end to end.
+    """
+    grid = ROUNDS_QUICK_GRID if quick else ROUNDS_FULL_GRID
+    return Sweep(
+        query=ROUNDS_QUERY, algorithms="applicable", observe=True,
+        rounds=2, **grid,
+    )
+
+
+def run_rounds_bench(
+    quick: bool = False,
+    obs: Observation | None = None,
+    repeats: int = 3,
+) -> dict:
+    """Execute the rounds suite; return the ``BENCH_rounds.json`` document.
+
+    Entries carry the executed round count and per-round loads on top of
+    the core fields; each entry's ``lower_bound_bits`` is the bound that
+    actually constrains it (Theorem 3.6 for one-round entries, the
+    multi-round repartition bound for the rest), so the optimality-gap
+    gates of :func:`compare_bench` stay meaningful per family.  The
+    summary adds the two-round-vs-best-one-round speedups (predicted and
+    measured, worst case over the grid) that
+    :func:`rounds_gate_failures` gates absolutely, plus the planner's
+    regret on its combined scale (max per-round load x rounds).
+    """
+    if repeats < 1:
+        raise BenchError("run_rounds_bench needs repeats >= 1")
+    sweep = rounds_bench_sweep(quick=quick)
+    calibration = calibrate()
+    obs = obs if obs is not None else Observation.create()
+    result = None
+    total_wall = float("inf")
+    best_wall: dict[str, float] = {}
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = sweep.run(obs=obs)
+        total_wall = min(total_wall, time.perf_counter() - started)
+        for record in result.records:
+            entry_id = _entry_id(record)
+            best_wall[entry_id] = min(
+                best_wall.get(entry_id, float("inf")), record.wall_seconds
+            )
+
+    entries = []
+    for record in result.records:
+        entries.append({
+            "id": _entry_id(record),
+            "algorithm": record.algorithm,
+            "workload": record.workload,
+            "p": record.p,
+            "m": record.m,
+            "skew": record.skew,
+            "seed": record.seed,
+            "rounds": record.rounds,
+            "round_load_bits": (None if record.round_load_bits is None
+                                else list(record.round_load_bits)),
+            "wall_seconds": best_wall[_entry_id(record)],
+            "max_load_bits": record.max_load_bits,
+            "lower_bound_bits": record.lower_bound_bits,
+            "optimality_gap": record.optimality_gap,
+            "predicted_load_bits": record.predicted_load_bits,
+        })
+    gaps = [e["optimality_gap"] for e in entries
+            if e["optimality_gap"] is not None]
+
+    # Per cell: the two-round triangle against the best one-round
+    # algorithm (predicted and measured max-load), plus planner regret
+    # on the combined cost scale the round-aware planner ranks by.
+    speedups_predicted: list[float] = []
+    speedups_measured: list[float] = []
+    two_round_gaps: list[float] = []
+    regrets: list[float] = []
+    by_cell: dict[tuple, list[RunRecord]] = {}
+    for record in result.records:
+        by_cell.setdefault(_cell_key(record), []).append(record)
+    for cell_records in by_cell.values():
+        one_round = [r for r in cell_records if r.rounds == 1]
+        two_round = [r for r in cell_records
+                     if r.algorithm == _TWO_ROUND_KEY]
+        if one_round and two_round:
+            best_predicted = min(r.predicted_load_bits for r in one_round)
+            best_measured = min(r.max_load_bits for r in one_round)
+            two = two_round[0]
+            if two.predicted_load_bits > 0:
+                speedups_predicted.append(
+                    best_predicted / two.predicted_load_bits
+                )
+            if two.max_load_bits > 0:
+                speedups_measured.append(best_measured / two.max_load_bits)
+            if two.optimality_gap is not None:
+                two_round_gaps.append(two.optimality_gap)
+        picked = min(cell_records,
+                     key=lambda r: r.predicted_load_bits * r.rounds)
+        best = min(cell_records, key=lambda r: r.max_load_bits * r.rounds)
+        best_cost = best.max_load_bits * best.rounds
+        if best_cost > 0:
+            regrets.append(picked.max_load_bits * picked.rounds / best_cost)
+
+    grid = ROUNDS_QUICK_GRID if quick else ROUNDS_FULL_GRID
+    return {
+        "schema_version": 1,
+        "suite": "rounds",
+        "quick": quick,
+        "repeats": repeats,
+        "query": ROUNDS_QUERY,
+        "grid": {key: list(value) if isinstance(value, tuple) else value
+                 for key, value in grid.items()},
+        "calibration_seconds": calibration,
+        "entries": entries,
+        "summary": {
+            "total_wall_seconds": total_wall,
+            "normalized_wall": total_wall / calibration,
+            "mean_optimality_gap": sum(gaps) / len(gaps) if gaps else 0.0,
+            "max_optimality_gap": max(gaps, default=0.0),
+            "planner_mean_regret":
+                sum(regrets) / len(regrets) if regrets else 1.0,
+            "planner_worst_regret": max(regrets, default=1.0),
+            "two_round_min_speedup_predicted":
+                min(speedups_predicted, default=0.0),
+            "two_round_min_speedup_measured":
+                min(speedups_measured, default=0.0),
+            "two_round_mean_speedup_measured":
+                (sum(speedups_measured) / len(speedups_measured)
+                 if speedups_measured else 0.0),
+            "two_round_min_gap": min(two_round_gaps, default=0.0),
+            "two_round_max_gap": max(two_round_gaps, default=0.0),
+        },
+    }
+
+
+def rounds_gate_failures(document: Mapping) -> list[str]:
+    """The rounds suite's *absolute* acceptance gates (beyond
+    :func:`compare_bench`'s relative ones); empty list = gate passes.
+
+    * the two-round triangle beats the best one-round algorithm's
+      *predicted* max-load on every grid cell;
+    * it beats the best one-round algorithm's *measured* max-load on
+      every grid cell too (the paper's point: more rounds buy load);
+    * its measured load never dips below the multi-round repartition
+      bound (a gap < 1 would mean the bound, or the fold, is wrong).
+    """
+    summary = document.get("summary", {})
+    failures: list[str] = []
+    predicted = summary.get("two_round_min_speedup_predicted")
+    if not isinstance(predicted, (int, float)) or predicted <= 1.0:
+        failures.append(
+            f"two-round triangle does not beat the best one-round "
+            f"algorithm's predicted load on every cell "
+            f"(min speedup {predicted!r}, want > 1.0)"
+        )
+    measured = summary.get("two_round_min_speedup_measured")
+    if not isinstance(measured, (int, float)) or measured <= 1.0:
+        failures.append(
+            f"two-round triangle does not beat the best one-round "
+            f"algorithm's measured load on every cell "
+            f"(min speedup {measured!r}, want > 1.0)"
+        )
+    min_gap = summary.get("two_round_min_gap")
+    if not isinstance(min_gap, (int, float)) or min_gap < 1.0:
+        failures.append(
+            f"two-round measured load dips below the multi-round lower "
+            f"bound (min gap {min_gap!r}, want >= 1.0)"
+        )
+    return failures
+
+
+# ----------------------------------------------------------------------
+# suite dispatch
+# ----------------------------------------------------------------------
+
+#: suite name -> runner; the single source of truth for what
+#: ``repro bench --suite`` accepts.
+BENCH_SUITES: Mapping[str, object] = {
+    "core": run_bench,
+    "sketch": run_sketch_bench,
+    "rounds": run_rounds_bench,
+}
+
+#: suite name -> its absolute acceptance gate (beyond the relative
+#: baseline comparison); suites without one pass vacuously.
+BENCH_GATES: Mapping[str, object] = {
+    "sketch": sketch_gate_failures,
+    "rounds": rounds_gate_failures,
+}
+
+
+def run_suite(
+    name: str,
+    quick: bool = False,
+    obs: Observation | None = None,
+    repeats: int = 3,
+) -> dict:
+    """Run the named suite; unknown names list the valid choices."""
+    try:
+        runner = BENCH_SUITES[name]
+    except KeyError:
+        raise BenchError(
+            f"unknown bench suite {name!r}; "
+            f"choose from {', '.join(BENCH_SUITES)}"
+        ) from None
+    return runner(quick=quick, obs=obs, repeats=repeats)
+
+
+def suite_gate_failures(document: Mapping) -> list[str]:
+    """Absolute gate failures for ``document``'s suite (empty = passes)."""
+    gate = BENCH_GATES.get(document.get("suite"))
+    if gate is None:
+        return []
+    return gate(document)

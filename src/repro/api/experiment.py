@@ -9,8 +9,10 @@ engine, and lands everything in a structured :class:`RunRecord`.
   (kind × m × skew × seed) for a query's relations.
 * :class:`Experiment` — one workload × one ``p`` × some algorithms.
 * :class:`Sweep` — the full grid ``p x m x skew x seed x stats x
-  algorithm`` (the ``stats`` axis switches the statistics pass between
-  exact frequencies and the one-pass Count-Sketch estimates);
+  rounds x algorithm`` (the ``stats`` axis switches the statistics pass
+  between exact frequencies and the one-pass Count-Sketch estimates;
+  the ``rounds`` axis varies the planner's round budget, admitting the
+  multi-round algorithms of :mod:`repro.rounds` when it exceeds 1);
   ``run(max_workers=N)`` farms the cells through the fault-isolated
   executor in :mod:`repro.service.jobs` (the same one ``repro serve``
   uses), which is safe because cells are declarative and therefore
@@ -42,6 +44,8 @@ from ..mpc.execution import run_one_round
 from ..obs import MetricsRegistry, Observation, Tracer, maybe_timed
 from ..query.atoms import ConjunctiveQuery
 from ..query.parser import parse_query
+from ..rounds.base import MultiRoundAlgorithm
+from ..rounds.executor import MultiRoundResult, run_rounds
 from ..seq.relation import Database
 from ..stats.heavy_hitters import HeavyHitterStatistics
 from .planner import STATS_METHODS, plan
@@ -138,12 +142,13 @@ class Cell:
     domain: int | None = None  # generator domain override (kind default else)
     observe: bool = False      # collect a per-cell metrics block on the record
     stats: str = "exact"       # statistics method: "exact" or "sketch"
+    rounds: int = 1            # the plan's round budget (max_rounds)
 
 
 def _coordinates(cell: Cell) -> tuple:
     """The part of a cell that determines its database, stats and plan."""
     return (cell.query, cell.workload, cell.m, cell.skew, cell.seed,
-            cell.domain, cell.p, cell.stats)
+            cell.domain, cell.p, cell.stats, cell.rounds)
 
 
 def _validate_stats_method(stats: str) -> None:
@@ -184,17 +189,24 @@ def _prepare(cells: Sequence[Cell], obs: Observation | None = None):
     with maybe_timed(obs, "stats.build", method=first.stats):
         stats = _build_statistics(query, db, first.p, first.stats, obs=obs)
     keys = {cell.algorithm for cell in cells}
+    # ``rounds`` is the planner's budget.  Explicitly requesting a
+    # multi-round algorithm opts into its round count, so the budget
+    # lifts to admit every named key; only the "auto" pick is gated.
+    max_rounds = first.rounds
+    for key in sorted(keys - {"auto"}):
+        spec = get_spec(key)
+        reason = spec.applicability(query)
+        if reason is not None:
+            raise ExperimentError(
+                f"algorithm {key!r} is not applicable to "
+                f"{first.query!r}: {reason}"
+            )
+        max_rounds = max(max_rounds, spec.rounds(query))
     if "auto" in keys:
-        query_plan = plan(query, stats, first.p)
+        query_plan = plan(query, stats, first.p, max_rounds=max_rounds)
     else:
-        for key in sorted(keys):
-            reason = get_spec(key).applicability(query)
-            if reason is not None:
-                raise ExperimentError(
-                    f"algorithm {key!r} is not applicable to "
-                    f"{first.query!r}: {reason}"
-                )
-        query_plan = plan(query, stats, first.p, algorithms=sorted(keys))
+        query_plan = plan(query, stats, first.p, algorithms=sorted(keys),
+                          max_rounds=max_rounds)
     return db, query_plan
 
 
@@ -227,17 +239,39 @@ def _execute(
         algorithm=key, engine=cell.engine, p=cell.p, m=cell.m,
         skew=cell.skew, seed=cell.seed, workload=cell.workload,
     ):
-        result = run_one_round(
-            algorithm,
-            db,
-            cell.p,
-            seed=cell.seed,
-            compute_answers=cell.compute_answers or cell.verify,
-            verify=cell.verify,
-            engine=cell.engine,
-            obs=cell_obs,
-        )
+        if isinstance(algorithm, MultiRoundAlgorithm):
+            result = run_rounds(
+                algorithm,
+                db,
+                cell.p,
+                seed=cell.seed,
+                compute_answers=cell.compute_answers or cell.verify,
+                verify=cell.verify,
+                engine=cell.engine,
+                obs=cell_obs,
+            )
+        else:
+            result = run_one_round(
+                algorithm,
+                db,
+                cell.p,
+                seed=cell.seed,
+                compute_answers=cell.compute_answers or cell.verify,
+                verify=cell.verify,
+                engine=cell.engine,
+                obs=cell_obs,
+            )
     wall = time.perf_counter() - started
+    if isinstance(result, MultiRoundResult):
+        rounds_used = result.round_count
+        round_loads = [float(x) for x in result.round_load_bits]
+        replication = result.replication_rate
+        balance = result.balance
+    else:
+        rounds_used = 1
+        round_loads = None
+        replication = result.report.replication_rate
+        balance = result.report.balance
     metrics_block = None
     if cell_obs is not None:
         metrics_block = cell_obs.metrics.to_dict()
@@ -256,14 +290,22 @@ def _execute(
         engine=cell.engine,
         stats=cell.stats,
         predicted_load_bits=float(prediction.predicted_load_bits or 0.0),
-        lower_bound_bits=query_plan.lower_bound_bits,
+        # Per-algorithm bound: Theorem 3.6 for one-round predictions
+        # (where it equals the plan-level bound), the repartition bound
+        # for multi-round ones — the one-round bound does not gate
+        # algorithms that reshuffle intermediates.
+        lower_bound_bits=float(prediction.lower_bound_bits
+                               if prediction.lower_bound_bits is not None
+                               else query_plan.lower_bound_bits),
         max_load_bits=result.max_load_bits,
         max_load_tuples=result.max_load_tuples,
-        replication_rate=result.report.replication_rate,
-        balance=result.report.balance,
+        replication_rate=replication,
+        balance=balance,
         wall_seconds=wall,
         answer_count=result.answer_count,
         complete=result.is_complete,
+        rounds=rounds_used,
+        round_load_bits=round_loads,
         metrics=metrics_block,
     )
 
@@ -330,14 +372,17 @@ def run_cell(cell: Cell) -> RunRecord:
 
 
 def _resolve_algorithms(
-    query: ConjunctiveQuery, algorithms: str | Sequence[str]
+    query: ConjunctiveQuery, algorithms: str | Sequence[str],
+    max_rounds: int = 1,
 ) -> tuple[str, ...]:
     """Algorithm keys for a cell grid.
 
     ``"auto"`` keeps the single planner-chosen cell; ``"applicable"``
-    expands to every registered algorithm that declares itself applicable;
-    an explicit sequence is validated (requesting an inapplicable
-    algorithm is an error, not a silent skip).
+    expands to every registered algorithm that declares itself applicable
+    *within the round budget* (``max_rounds``); an explicit sequence is
+    validated (requesting an inapplicable algorithm is an error, not a
+    silent skip — and naming a multi-round algorithm opts into its round
+    count regardless of the budget).
     """
     if algorithms == "auto":
         return ("auto",)
@@ -345,6 +390,7 @@ def _resolve_algorithms(
         return tuple(
             key for key in algorithm_keys()
             if get_spec(key).is_applicable(query)
+            and get_spec(key).rounds(query) <= max_rounds
         )
     if isinstance(algorithms, str):
         raise ExperimentError(
@@ -451,6 +497,7 @@ class Experiment:
     verify: bool = False
     observe: bool = False      # attach a metrics block to every record
     stats: str = "exact"       # statistics method: "exact" or "sketch"
+    rounds: int = 1            # the planner's round budget (max_rounds)
 
     def _query(self) -> ConjunctiveQuery:
         if isinstance(self.query, str):
@@ -461,6 +508,8 @@ class Experiment:
         query = self._query()
         _validate_engine(self.engine)
         _validate_stats_method(self.stats)
+        if self.rounds < 1:
+            raise ExperimentError(f"rounds must be >= 1, got {self.rounds}")
         return [
             Cell(
                 query=str(query),
@@ -476,8 +525,11 @@ class Experiment:
                 domain=self.workload.domain,
                 observe=self.observe,
                 stats=self.stats,
+                rounds=self.rounds,
             )
-            for key in _resolve_algorithms(query, self.algorithms)
+            for key in _resolve_algorithms(
+                query, self.algorithms, max_rounds=self.rounds
+            )
         ]
 
     def run(self, obs: Observation | None = None) -> list[RunRecord]:
@@ -492,7 +544,8 @@ class Experiment:
 
 @dataclass(frozen=True)
 class Sweep:
-    """The full grid: ``p_values x m_values x skews x seeds x algorithms``.
+    """The full grid: ``p_values x m_values x skews x seeds x rounds x
+    algorithms``.
 
     ``run(max_workers=N)`` executes cells through a ``fork``-first process
     pool; with ``max_workers=None`` (or 1) the grid runs in-process.
@@ -511,6 +564,7 @@ class Sweep:
     domain: int | None = None
     observe: bool = False      # attach a metrics block to every record
     stats: str | Sequence[str] = "exact"   # one method, or an axis of them
+    rounds: int | Sequence[int] = 1        # one round budget, or an axis
 
     def _stats_axis(self) -> tuple[str, ...]:
         methods = ((self.stats,) if isinstance(self.stats, str)
@@ -521,11 +575,30 @@ class Sweep:
             _validate_stats_method(method)
         return methods
 
+    def _rounds_axis(self) -> tuple[int, ...]:
+        budgets = ((self.rounds,) if isinstance(self.rounds, int)
+                   else tuple(self.rounds))
+        if not budgets:
+            raise ExperimentError("the rounds axis is empty")
+        for budget in budgets:
+            if not isinstance(budget, int) or budget < 1:
+                raise ExperimentError(
+                    f"round budgets must be integers >= 1, got {budget!r}"
+                )
+        return budgets
+
     def cells(self) -> list[Cell]:
         query = self._query()
         _validate_engine(self.engine)
-        keys = _resolve_algorithms(query, self.algorithms)
         stats_methods = self._stats_axis()
+        rounds_axis = self._rounds_axis()
+        # The "applicable" expansion depends on the round budget, so the
+        # key set is per-budget (an explicit list is budget-independent).
+        keys_by_budget = {
+            budget: _resolve_algorithms(query, self.algorithms,
+                                        max_rounds=budget)
+            for budget in rounds_axis
+        }
         # Validate the grid axes up front: a bad value must fail here,
         # not as a traceback from the middle of a half-finished run.
         for p in self.p_values:
@@ -550,11 +623,13 @@ class Sweep:
                 domain=self.domain,
                 observe=self.observe,
                 stats=stats_method,
+                rounds=budget,
             )
-            for m, skew, seed, p, stats_method, key in product(
+            for m, skew, seed, p, stats_method, budget in product(
                 self.m_values, self.skews, self.seeds, self.p_values,
-                stats_methods, keys
+                stats_methods, rounds_axis
             )
+            for key in keys_by_budget[budget]
         ]
 
     def _query(self) -> ConjunctiveQuery:

@@ -24,6 +24,7 @@ from ..mpc.execution import OneRoundAlgorithm
 from ..obs import Observation, maybe_timed
 from ..query.atoms import ConjunctiveQuery
 from ..query.parser import parse_query
+from ..rounds.base import MultiRoundAlgorithm
 from ..seq.relation import Database
 from ..stats.cardinality import SimpleStatistics
 from ..stats.heavy_hitters import HeavyHitterStatistics
@@ -36,7 +37,14 @@ class PlanError(ValueError):
 
 @dataclass(frozen=True)
 class Prediction:
-    """One algorithm's planner row."""
+    """One algorithm's planner row.
+
+    ``rounds`` and ``round_loads`` carry the multi-round shape: one-round
+    algorithms report ``rounds=1`` with a single-entry load vector, and
+    ``lower_bound_bits`` is the Theorem 3.6 one-round bound for them but
+    the multi-round repartition bound (``max_j M_j / p``) for multi-round
+    algorithms — the one-round bound does not constrain extra rounds.
+    """
 
     key: str
     summary: str
@@ -44,10 +52,19 @@ class Prediction:
     reason: str | None = None
     predicted_load_bits: float | None = None
     lower_bound_bits: float | None = None
+    rounds: int = 1
+    round_loads: tuple[float, ...] | None = None
+
+    @property
+    def cost_bits(self) -> float | None:
+        """The ranking scale: max per-round load x number of rounds."""
+        if self.predicted_load_bits is None:
+            return None
+        return self.predicted_load_bits * self.rounds
 
     @property
     def optimality_ratio(self) -> float | None:
-        """Predicted load over the Theorem 3.6 lower bound (>= ~1)."""
+        """Predicted load over the attached lower bound (>= ~1)."""
         if (
             self.predicted_load_bits is None
             or not self.lower_bound_bits
@@ -61,9 +78,12 @@ class Prediction:
 class QueryPlan:
     """The ranked output of :func:`plan`.
 
-    ``predictions`` lists applicable algorithms first, sorted by predicted
-    load (ties broken by registration order), followed by the inapplicable
-    ones with their declared reasons.  ``chosen`` is the first entry.
+    ``predictions`` lists applicable algorithms first, sorted by the
+    combined cost scale ``max per-round load x rounds`` (ties broken by
+    total communication, then registration order), followed by the
+    inapplicable ones with their declared reasons.  ``chosen`` is the
+    first entry.  With the default ``max_rounds=1`` this reduces to the
+    classic predicted-load ranking over one-round algorithms.
     """
 
     query: ConjunctiveQuery
@@ -73,9 +93,10 @@ class QueryPlan:
     predictions: tuple[Prediction, ...] = field(default_factory=tuple)
     # Instances constructed while costing, reused by instantiate() so a
     # plan-then-run cycle never builds an algorithm twice.
-    built: Mapping[str, OneRoundAlgorithm] = field(
+    built: Mapping[str, object] = field(
         default_factory=dict, repr=False, compare=False
     )
+    max_rounds: int = 1
 
     @property
     def chosen(self) -> Prediction:
@@ -96,11 +117,14 @@ class QueryPlan:
                 return prediction
         raise PlanError(f"algorithm {key!r} is not part of this plan")
 
-    def instantiate(self, key: str | None = None) -> OneRoundAlgorithm:
+    def instantiate(self, key: str | None = None):
         """The chosen (or an explicitly named) algorithm, ready to run.
 
         Returns the instance the planner already constructed while
-        costing; only keys outside this plan trigger a fresh build.
+        costing; only keys outside this plan trigger a fresh build.  The
+        result is a :class:`OneRoundAlgorithm` or a
+        :class:`~repro.rounds.MultiRoundAlgorithm` — run the latter with
+        :func:`repro.rounds.run_rounds`.
         """
         chosen_key = self.chosen.key if key is None else key
         cached = self.built.get(chosen_key)
@@ -118,10 +142,15 @@ class QueryPlan:
             marker = "*" if prediction.key == self.chosen.key else " "
             ratio = prediction.optimality_ratio
             gap = f"{ratio:6.2f}x" if ratio is not None else "      -"
+            rounds = (
+                f"  ({prediction.rounds} rounds)"
+                if prediction.rounds > 1
+                else ""
+            )
             lines.append(
                 f" {marker}{rank}. {prediction.key:<20} "
                 f"predicted {prediction.predicted_load_bits:>14,.0f} bits  "
-                f"vs bound {gap}"
+                f"vs bound {gap}{rounds}"
             )
         for prediction in self.predictions:
             if not prediction.applicable:
@@ -136,6 +165,7 @@ class QueryPlan:
         return {
             "query": str(self.query),
             "p": self.p,
+            "max_rounds": self.max_rounds,
             "lower_bound_bits": self.lower_bound_bits,
             "chosen": self.chosen.key,
             "predictions": [
@@ -145,6 +175,12 @@ class QueryPlan:
                     "reason": pr.reason,
                     "predicted_load_bits": pr.predicted_load_bits,
                     "optimality_ratio": pr.optimality_ratio,
+                    "rounds": pr.rounds,
+                    "round_loads": (
+                        None if pr.round_loads is None
+                        else list(pr.round_loads)
+                    ),
+                    "cost_bits": pr.cost_bits,
                 }
                 for pr in self.predictions
             ],
@@ -198,8 +234,9 @@ def plan(
     algorithms: Iterable[str] | None = None,
     obs: Observation | None = None,
     stats_method: str = "exact",
+    max_rounds: int = 1,
 ) -> QueryPlan:
-    """Rank registered algorithms on ``query`` by predicted max-load.
+    """Rank registered algorithms on ``query`` by predicted cost.
 
     Parameters
     ----------
@@ -224,9 +261,18 @@ def plan(
         ``"exact"`` (materialized frequencies) or ``"sketch"`` (the
         one-pass Count-Sketch statistics pass).  Ignored when ``stats``
         is supplied.
+    max_rounds:
+        Round budget.  The default 1 keeps the classic one-round
+        ranking; with ``max_rounds >= 2`` the multi-round algorithms of
+        :mod:`repro.rounds` compete too, everything ranked on the single
+        scale ``max per-round load x rounds`` (ties broken by total
+        communication, then registration order).  Algorithms needing
+        more rounds than the budget are reported as inapplicable.
     """
     if isinstance(query, str):
         query = parse_query(query)
+    if max_rounds < 1:
+        raise PlanError(f"max_rounds must be >= 1, got {max_rounds}")
     with maybe_timed(obs, "plan.build", query=str(query), p=p):
         stats = resolve_statistics(
             query, stats, p, db, stats_method=stats_method, obs=obs
@@ -239,14 +285,20 @@ def plan(
             else:
                 bound_bits = sum(bits.values())
 
-        ranked: list[tuple[float, int, Prediction]] = []
+        ranked: list[tuple[float, float, int, Prediction]] = []
         inapplicable: list[Prediction] = []
-        built: dict[str, OneRoundAlgorithm] = {}
+        built: dict[str, object] = {}
         for order, spec in enumerate(algorithm_specs(algorithms)):
             if obs is not None:
                 obs.count("planner.algorithms_considered")
             with maybe_timed(obs, "plan.applicability", algorithm=spec.key):
                 reason = spec.applicability(query)
+                rounds = 1 if reason is not None else spec.rounds(query)
+            if reason is None and rounds > max_rounds:
+                reason = (
+                    f"needs {rounds} rounds but the round budget is "
+                    f"max_rounds={max_rounds}"
+                )
             if reason is not None:
                 if obs is not None:
                     obs.count("planner.inapplicable")
@@ -262,7 +314,16 @@ def plan(
             with maybe_timed(obs, "plan.cost", algorithm=spec.key):
                 algorithm = spec.build(query, stats, p)
                 built[spec.key] = algorithm
-                predicted = algorithm.predicted_load_bits(stats, p)
+                if isinstance(algorithm, MultiRoundAlgorithm):
+                    round_loads = tuple(
+                        algorithm.predicted_round_loads(stats, p)
+                    )
+                    predicted = max(round_loads)
+                    algo_bound = algorithm.lower_bound_bits(stats, p)
+                else:
+                    predicted = algorithm.predicted_load_bits(stats, p)
+                    round_loads = (predicted,)
+                    algo_bound = bound_bits
             if not math.isfinite(predicted) or predicted < 0:
                 raise PlanError(
                     f"algorithm {spec.key!r} predicted a non-finite load "
@@ -272,15 +333,22 @@ def plan(
                 obs.set_gauge(
                     f"planner.predicted_load_bits.{spec.key}", predicted
                 )
-            ranked.append((predicted, order, Prediction(
+            # The single ranking scale: max per-round load x rounds,
+            # ties broken by total communication (p x sum of per-round
+            # loads), then registration order.
+            cost = predicted * rounds
+            total_comm = p * sum(round_loads)
+            ranked.append((cost, total_comm, order, Prediction(
                 key=spec.key,
                 summary=spec.summary,
                 applicable=True,
                 predicted_load_bits=predicted,
-                lower_bound_bits=bound_bits,
+                lower_bound_bits=algo_bound,
+                rounds=rounds,
+                round_loads=round_loads,
             )))
-        ranked.sort(key=lambda item: (item[0], item[1]))
-        predictions = tuple(pr for _, _, pr in ranked) + tuple(inapplicable)
+        ranked.sort(key=lambda item: (item[0], item[1], item[2]))
+        predictions = tuple(pr for _, _, _, pr in ranked) + tuple(inapplicable)
         if not any(pr.applicable for pr in predictions):
             raise PlanError(
                 f"no registered algorithm is applicable to {query.name!r}"
@@ -294,6 +362,7 @@ def plan(
         lower_bound_bits=bound_bits,
         predictions=predictions,
         built=built,
+        max_rounds=max_rounds,
     )
 
 
@@ -304,9 +373,15 @@ def autoplan(
     db: Database | None = None,
     algorithms: Iterable[str] | None = None,
     stats_method: str = "exact",
-) -> OneRoundAlgorithm:
-    """Instantiate the minimum-predicted-load applicable algorithm."""
+    max_rounds: int = 1,
+):
+    """Instantiate the minimum-cost applicable algorithm.
+
+    With ``max_rounds >= 2`` the result may be a
+    :class:`~repro.rounds.MultiRoundAlgorithm`; run it with
+    :func:`repro.rounds.run_rounds` instead of ``run_one_round``.
+    """
     return plan(
         query, stats, p, db=db, algorithms=algorithms,
-        stats_method=stats_method,
+        stats_method=stats_method, max_rounds=max_rounds,
     ).instantiate()

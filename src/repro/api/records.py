@@ -49,6 +49,12 @@ class RunRecord:
     # --- statistics method (a cell coordinate; declared after the
     # defaulted measurement fields only for dataclass ordering) ---------
     stats: str = "exact"              # "exact" or "sketch"
+    # --- multi-round shape ---------------------------------------------
+    #: communication rounds the executed algorithm used (1 = one-round).
+    rounds: int = 1
+    #: max per-server bits of every round, in round order; None for
+    #: one-round cells (whose single round is ``max_load_bits`` itself).
+    round_load_bits: Sequence[float] | None = None
     # --- execution status ----------------------------------------------
     #: ``"ok"``, ``"failed:<reason>"``, or ``"timeout"``.  Non-``ok``
     #: rows carry zeroed measurements: they exist so a sweep with a
@@ -119,6 +125,8 @@ RUN_RECORD_SCHEMA: Mapping[str, tuple[tuple[type, ...], bool]] = {
     "wall_seconds": ((int, float), False),
     "answer_count": ((int,), True),
     "complete": ((bool,), True),
+    "rounds": ((int,), False),
+    "round_load_bits": ((list, tuple), True),
     "metrics": ((dict,), True),
     "optimality_gap": ((int, float), True),
     "prediction_error": ((int, float), True),
@@ -163,6 +171,16 @@ def validate_record(data: Mapping[str, object]) -> None:
             f"field 'status' must be 'ok', 'timeout', or 'failed:<reason>'; "
             f"got {status!r}"
         )
+    if data["rounds"] < 1:
+        raise RecordError(f"field 'rounds' must be >= 1, got {data['rounds']}")
+    round_loads = data["round_load_bits"]
+    if round_loads is not None:
+        for entry in round_loads:
+            if isinstance(entry, bool) or not isinstance(entry, (int, float)):
+                raise RecordError(
+                    f"field 'round_load_bits' entries must be numeric; "
+                    f"got {entry!r}"
+                )
 
 
 def records_to_json(records: Iterable[RunRecord], indent: int = 2) -> str:
@@ -181,17 +199,18 @@ def records_from_json(text: str) -> list[RunRecord]:
 def records_to_csv(records: Sequence[RunRecord]) -> str:
     """CSV with the schema's column order; ``None`` renders empty.
 
-    The nested ``metrics`` block is embedded as one compact-JSON cell so
-    the CSV stays flat yet lossless.
+    The nested ``metrics`` and ``round_load_bits`` values are embedded as
+    compact-JSON cells so the CSV stays flat yet lossless.
     """
     buffer = io.StringIO()
     writer = csv.DictWriter(buffer, fieldnames=RUN_RECORD_FIELDS)
     writer.writeheader()
     for record in records:
         row = record.to_dict()
-        if row.get("metrics") is not None:
-            row["metrics"] = json.dumps(row["metrics"],
-                                        separators=(",", ":"))
+        for nested in ("metrics", "round_load_bits"):
+            if row.get(nested) is not None:
+                row[nested] = json.dumps(row[nested],
+                                         separators=(",", ":"))
         writer.writerow({
             name: ("" if row[name] is None else row[name])
             for name in RUN_RECORD_FIELDS

@@ -17,8 +17,12 @@ reason about an algorithm *without* constructing it:
 The default registry covers every algorithm the paper develops (HyperCube
 with LP-optimal/equal shares, the broadcast rule, the hash-join baseline,
 the Section 4.1 skew-aware join, the Section 4.2 bin algorithm, and the
-cartesian grid).  Downstream code can :func:`register` additional
-algorithms; the planner, sweep runner and CLI pick them up automatically.
+cartesian grid), plus the multi-round algorithms of
+:mod:`repro.rounds` (the two-round triangle and the generic
+round-composed join), which the planner only considers when its
+``max_rounds`` budget admits them.  Downstream code can :func:`register`
+additional algorithms; the planner, sweep runner and CLI pick them up
+automatically.
 """
 
 from __future__ import annotations
@@ -34,11 +38,16 @@ from ..core.skew_general import BinHyperCubeAlgorithm
 from ..core.skew_join import SkewAwareJoin
 from ..mpc.execution import OneRoundAlgorithm
 from ..query.atoms import ConjunctiveQuery
+from ..rounds.composed import RoundComposedJoin
+from ..rounds.triangle import TwoRoundTriangle
 
 # ``stats`` arguments throughout accept SimpleStatistics or
 # HeavyHitterStatistics (richer statistics buy skew-aware predictions).
 Statistics = object
-Factory = Callable[[ConjunctiveQuery, Statistics, int], OneRoundAlgorithm]
+# Factories build a OneRoundAlgorithm or a MultiRoundAlgorithm; both
+# carry the same planner surface (applicability, predicted_load_bits,
+# round_count) — the planner dispatches execution on the instance type.
+Factory = Callable[[ConjunctiveQuery, Statistics, int], object]
 
 
 class RegistryError(ValueError):
@@ -54,17 +63,19 @@ class AlgorithmSpec:
     key:
         Stable identifier (``repro sweep --algorithms`` spelling).
     algorithm_class:
-        The :class:`OneRoundAlgorithm` subclass; its class-level
-        ``applicability`` declares which queries it handles.
+        The :class:`OneRoundAlgorithm` or
+        :class:`~repro.rounds.MultiRoundAlgorithm` subclass; its
+        class-level ``applicability`` declares which queries it handles
+        and its ``round_count`` how many rounds it uses.
     factory:
-        ``(query, stats, p) -> OneRoundAlgorithm`` building a runnable
+        ``(query, stats, p) -> algorithm`` building a runnable
         instance.  ``stats`` may be simple or heavy-hitter statistics.
     summary:
         One line for tables and ``repro plan`` output.
     """
 
     key: str
-    algorithm_class: type[OneRoundAlgorithm]
+    algorithm_class: type
     factory: Factory
     summary: str
 
@@ -75,9 +86,14 @@ class AlgorithmSpec:
     def is_applicable(self, query: ConjunctiveQuery) -> bool:
         return self.applicability(query) is None
 
+    def rounds(self, query: ConjunctiveQuery) -> int:
+        """Communication rounds the algorithm uses on ``query`` (1 for
+        every one-round algorithm).  Only meaningful when applicable."""
+        return int(self.algorithm_class.round_count(query))
+
     def build(
         self, query: ConjunctiveQuery, stats: Statistics, p: int
-    ) -> OneRoundAlgorithm:
+    ):
         """Instantiate the algorithm (the query must be applicable)."""
         reason = self.applicability(query)
         if reason is not None:
@@ -137,11 +153,21 @@ def get_spec(key: str) -> AlgorithmSpec:
 
 
 def applicable_specs(
-    query: ConjunctiveQuery, keys: Iterable[str] | None = None
+    query: ConjunctiveQuery,
+    keys: Iterable[str] | None = None,
+    max_rounds: int | None = 1,
 ) -> tuple[AlgorithmSpec, ...]:
-    """The subset of specs whose declared applicability accepts ``query``."""
+    """The subset of specs whose declared applicability accepts ``query``.
+
+    ``max_rounds`` is the round budget: the default of 1 keeps the
+    historical one-round contract (every returned spec can go straight
+    into ``run_one_round``); raise it to admit multi-round algorithms,
+    or pass ``None`` for no filter at all.
+    """
     return tuple(
-        spec for spec in algorithm_specs(keys) if spec.is_applicable(query)
+        spec for spec in algorithm_specs(keys)
+        if spec.is_applicable(query)
+        and (max_rounds is None or spec.rounds(query) <= max_rounds)
     )
 
 
@@ -204,4 +230,23 @@ register(AlgorithmSpec(
     algorithm_class=CartesianProductAlgorithm,
     factory=lambda query, stats, p: CartesianProductAlgorithm(query),
     summary="optimal grid for cartesian products (Section 1)",
+))
+
+# ----------------------------------------------------------------------
+# Multi-round algorithms (ranked only when plan(..., max_rounds >= 2)).
+# ----------------------------------------------------------------------
+
+register(AlgorithmSpec(
+    key="two-round-triangle",
+    algorithm_class=TwoRoundTriangle,
+    factory=lambda query, stats, p: TwoRoundTriangle(query, stats=stats),
+    summary="two-round triangle: bounded partial join, then hash-join "
+            "finish",
+))
+
+register(AlgorithmSpec(
+    key="round-join",
+    algorithm_class=RoundComposedJoin,
+    factory=lambda query, stats, p: RoundComposedJoin(query, stats=stats),
+    summary="round-composed join: one binary join per round (l-1 rounds)",
 ))

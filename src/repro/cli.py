@@ -70,10 +70,11 @@ from .api import (
     plan as build_plan,
 )
 from .api.bench import (
+    BENCH_SUITES,
+    BenchError,
     compare_bench,
-    run_bench,
-    run_sketch_bench,
-    sketch_gate_failures,
+    run_suite,
+    suite_gate_failures,
     validate_bench,
 )
 from .api.planner import STATS_METHODS
@@ -249,11 +250,21 @@ def _plan_statistics(args: argparse.Namespace, query: ConjunctiveQuery):
 
 
 def cmd_plan(args: argparse.Namespace) -> int:
+    from .rounds import tradeoff
+
     query = parse_query(args.query)
+    if args.max_rounds < 1:
+        raise SystemExit(f"--max-rounds must be >= 1, got {args.max_rounds}")
     stats = _plan_statistics(args, query)
-    query_plan = build_plan(query, stats, args.p)
+    query_plan = build_plan(query, stats, args.p, max_rounds=args.max_rounds)
+    curve = None
+    if args.max_rounds > 1:
+        curve = tradeoff(query, args.p, rounds=args.max_rounds, stats=stats)
     if args.json:
-        print(json.dumps(query_plan.to_dict(), indent=2))
+        document = query_plan.to_dict()
+        if curve is not None:
+            document["tradeoff"] = [point.to_dict() for point in curve]
+        print(json.dumps(document, indent=2))
         return 0
     if args.cardinality:
         print("statistics: declared cardinalities (skew-free predictions)")
@@ -261,6 +272,17 @@ def cmd_plan(args: argparse.Namespace) -> int:
         print(f"statistics: {args.workload} workload "
               f"(m={args.m}, skew={args.skew}, seed={args.seed})")
     print(query_plan.explain())
+    if curve is not None:
+        print("\nround/load tradeoff (cost = max per-round load x rounds):")
+        for point in curve:
+            if point.key is None:
+                print(f"  {point.rounds} round(s): no applicable algorithm")
+            else:
+                print(
+                    f"  {point.rounds} round(s): {point.key} — "
+                    f"max load {point.predicted_load_bits:,.0f} bits, "
+                    f"cost {point.cost_bits:,.0f} bits"
+                )
     return 0
 
 
@@ -391,6 +413,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         verify=args.verify,
         observe=args.metrics,
         stats=_parse_grid(args.stats, str, "--stats"),
+        rounds=_parse_grid(args.rounds, int, "--rounds"),
     )
     try:
         cells = sweep.cells()
@@ -432,10 +455,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
         output = f"BENCH_{args.suite}.json"
     _LOG.info("bench: running the pinned %s suite%s", args.suite,
               " (quick grid)" if args.quick else "")
-    if args.suite == "sketch":
-        document = run_sketch_bench(quick=args.quick, obs=obs)
-    else:
-        document = run_bench(quick=args.quick, obs=obs)
+    try:
+        document = run_suite(args.suite, quick=args.quick, obs=obs)
+    except BenchError as exc:
+        raise SystemExit(str(exc)) from None
     validate_bench(document)
     summary = document["summary"]
     _LOG.info(
@@ -446,11 +469,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
         summary["planner_worst_regret"],
     )
 
-    failures: list[str] = []
-    if args.suite == "sketch":
-        # Absolute acceptance gates (recall, shard-merge bit-identity,
-        # regret ratio) apply with or without a baseline.
-        failures.extend(sketch_gate_failures(document))
+    # Suite-specific absolute acceptance gates (sketch recall/merge
+    # identity, two-round-beats-one-round) apply with or without a
+    # baseline; suites without one pass vacuously.
+    failures: list[str] = list(suite_gate_failures(document))
     if args.baseline:
         try:
             with open(args.baseline, "r", encoding="utf-8") as handle:
@@ -539,6 +561,7 @@ def cmd_submit(args: argparse.Namespace) -> int:
             "seeds": list(_parse_grid(args.seeds, int, "--seeds")),
             "algorithms": algorithms,
             "stats": list(_parse_grid(args.stats, str, "--stats")),
+            "rounds": list(_parse_grid(args.rounds, int, "--rounds")),
             "engine": args.engine,
             "verify": args.verify,
         }
@@ -654,6 +677,11 @@ def build_parser() -> argparse.ArgumentParser:
     plan_cmd.add_argument("--domain", type=int, default=1_000_000)
     _add_workload_arguments(plan_cmd)
     plan_cmd.add_argument("-p", type=int, default=16)
+    plan_cmd.add_argument("--max-rounds", type=int, default=1,
+                          dest="max_rounds", metavar="R",
+                          help="round budget: rank multi-round algorithms "
+                               "too and print the round/load tradeoff "
+                               "curve (default 1 = one-round only)")
     plan_cmd.add_argument("--json", action="store_true",
                           help="emit the plan as JSON")
     plan_cmd.set_defaults(func=cmd_plan)
@@ -698,6 +726,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="comma-separated statistics methods per cell: "
                             "exact, sketch (e.g. 'exact,sketch' runs every "
                             "cell under both)")
+    sweep.add_argument("--rounds", default="1",
+                       help="comma-separated planner round budgets per "
+                            "cell (e.g. '1,2' ranks one- and two-round "
+                            "algorithms side by side)")
     sweep.add_argument("--engine", choices=available_engines(),
                        default="batched")
     sweep.add_argument("--verify", action="store_true",
@@ -743,7 +775,7 @@ def build_parser() -> argparse.ArgumentParser:
         "bench",
         help="run a pinned perf suite; emit/gate BENCH_<suite>.json",
     )
-    bench.add_argument("--suite", choices=["core", "sketch"], default="core",
+    bench.add_argument("--suite", choices=list(BENCH_SUITES), default="core",
                        help="core: the perf trajectory grid; sketch: the "
                             "same grid under exact and sketched statistics "
                             "plus fidelity/regret gates (default %(default)s)")
@@ -841,6 +873,8 @@ def build_parser() -> argparse.ArgumentParser:
                                 "registry keys")
     sweep_job.add_argument("--stats", default="exact",
                            help="comma-separated statistics methods")
+    sweep_job.add_argument("--rounds", default="1",
+                           help="comma-separated planner round budgets")
     sweep_job.add_argument("--engine", choices=available_engines(),
                            default="batched")
     sweep_job.add_argument("--verify", action="store_true",

@@ -163,6 +163,17 @@ class OneRoundAlgorithm(ABC):
         """
         return None
 
+    @classmethod
+    def round_count(cls, query: ConjunctiveQuery) -> int:
+        """Communication rounds used on ``query`` — always 1 here.
+
+        The shared planner hook with
+        :class:`repro.rounds.MultiRoundAlgorithm`, whose subclasses
+        override it; the registry ranks one- and multi-round algorithms
+        on the same ``max per-round load x rounds`` scale.
+        """
+        return 1
+
     @abstractmethod
     def routing_plan(
         self, db: Database, p: int, hashes: HashFamily

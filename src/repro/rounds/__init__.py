@@ -1,0 +1,50 @@
+"""Multi-round MPC: round sequences, two-round algorithms, tradeoffs.
+
+The one-round model (Section 2.1) routes every tuple from statistics
+alone; this package implements the multi-round extension the paper's
+sequel ("Communication Cost in Parallel Query Processing", PAPERS.md)
+studies — algorithms that materialize intermediates between rounds, the
+two-round triangle that beats every one-round algorithm on cyclic
+queries, and the round/load tradeoff curve the planner ranks against.
+
+* :class:`MultiRoundAlgorithm` / :class:`RoundSpec` — the protocol
+  (per-round shuffle + local compute over materialized intermediates);
+* :class:`TwoRoundTriangle` — partial join then hash-join finish;
+* :class:`RoundComposedJoin` — the generic ``l - 1``-round composition
+  for connected queries;
+* :func:`run_rounds` / :class:`MultiRoundResult` — execution through
+  the pluggable one-round engines, bit-identical by construction;
+* :func:`tradeoff` / :class:`TradeoffPoint` — predicted max-load per
+  round count.
+"""
+
+from .base import (
+    MultiRoundAlgorithm,
+    RoundSpec,
+    RoundsError,
+    estimate_join_size,
+    intermediate_name,
+    predict_one_round,
+    select_one_round,
+)
+from .composed import RoundComposedJoin
+from .executor import ROUND_SEED_STRIDE, MultiRoundResult, run_rounds
+from .tradeoff import TradeoffPoint, tradeoff
+from .triangle import TwoRoundTriangle
+
+__all__ = [
+    "MultiRoundAlgorithm",
+    "MultiRoundResult",
+    "ROUND_SEED_STRIDE",
+    "RoundComposedJoin",
+    "RoundSpec",
+    "RoundsError",
+    "TradeoffPoint",
+    "TwoRoundTriangle",
+    "estimate_join_size",
+    "intermediate_name",
+    "predict_one_round",
+    "run_rounds",
+    "select_one_round",
+    "tradeoff",
+]

@@ -1,0 +1,109 @@
+"""The round/load tradeoff curve.
+
+:func:`tradeoff` answers the paper's multi-round question directly: *how
+does the predicted max per-round load fall as the round budget grows?*
+For every round count ``r`` in ``1..rounds`` it reports the best
+registered algorithm using exactly ``r`` rounds (ranked the planner's
+way — ``max per-round load x rounds``, total communication, registration
+order), giving the curve the CLI prints via ``repro plan --max-rounds``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+from ..query.atoms import ConjunctiveQuery
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs import Observation
+    from ..seq.relation import Database
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """The best algorithm at one round count (``key`` None if none)."""
+
+    rounds: int
+    key: str | None
+    predicted_load_bits: float | None
+    round_loads: tuple[float, ...] | None
+    lower_bound_bits: float | None
+
+    @property
+    def cost_bits(self) -> float | None:
+        """The planner's scale: max per-round load x rounds."""
+        if self.predicted_load_bits is None:
+            return None
+        return self.predicted_load_bits * self.rounds
+
+    def to_dict(self) -> dict:
+        return {
+            "rounds": self.rounds,
+            "key": self.key,
+            "predicted_load_bits": self.predicted_load_bits,
+            "round_loads": (
+                None if self.round_loads is None else list(self.round_loads)
+            ),
+            "cost_bits": self.cost_bits,
+            "lower_bound_bits": self.lower_bound_bits,
+        }
+
+
+def tradeoff(
+    query: ConjunctiveQuery | str,
+    p: int = 16,
+    rounds: int = 2,
+    stats: object | None = None,
+    db: "Database | None" = None,
+    algorithms: Iterable[str] | None = None,
+    stats_method: str = "exact",
+    obs: "Observation | None" = None,
+) -> tuple[TradeoffPoint, ...]:
+    """Predicted max-load per round count, for ``1..rounds`` rounds.
+
+    Statistics resolve exactly as in :func:`repro.api.planner.plan`
+    (explicit ``stats`` beat extraction from ``db``).  Round counts with
+    no applicable algorithm yield a point with ``key=None`` — e.g. a
+    two-atom join has no two-round candidate, and a triangle has a
+    one-round HyperCube but no one-round hash join.
+    """
+    from ..api.planner import plan  # local import: the registry imports us
+
+    if rounds < 1:
+        raise ValueError(f"rounds must be >= 1, got {rounds}")
+    query_plan = plan(
+        query,
+        stats,
+        p,
+        db=db,
+        algorithms=algorithms,
+        stats_method=stats_method,
+        obs=obs,
+        max_rounds=rounds,
+    )
+    best: dict[int, "object"] = {}
+    for prediction in query_plan.applicable:
+        # ``applicable`` is cost-sorted, so the first entry per round
+        # count is that count's winner.
+        best.setdefault(prediction.rounds, prediction)
+    points = []
+    for r in range(1, rounds + 1):
+        prediction = best.get(r)
+        if prediction is None:
+            points.append(TradeoffPoint(
+                rounds=r,
+                key=None,
+                predicted_load_bits=None,
+                round_loads=None,
+                lower_bound_bits=None,
+            ))
+        else:
+            points.append(TradeoffPoint(
+                rounds=r,
+                key=prediction.key,
+                predicted_load_bits=prediction.predicted_load_bits,
+                round_loads=prediction.round_loads,
+                lower_bound_bits=prediction.lower_bound_bits,
+            ))
+    return tuple(points)

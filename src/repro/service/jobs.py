@@ -118,7 +118,7 @@ def _prepared_context(group, obs, cache: CatalogCache | None):
         kind="prepare",
         query=first.query, workload=first.workload, m=first.m,
         skew=first.skew, seed=first.seed, domain=first.domain,
-        p=first.p, stats=first.stats,
+        p=first.p, stats=first.stats, rounds=first.rounds,
         algorithms=sorted({cell.algorithm for cell in group}),
     )
     return cache.get_or_build(
@@ -747,6 +747,9 @@ class JobQueue:
         stats = spec.get("stats_axis", spec.get("stats", "exact"))
         if isinstance(stats, list):
             stats = tuple(stats)
+        rounds = spec.get("rounds", 1)
+        if isinstance(rounds, list):
+            rounds = tuple(rounds)
         sweep = _experiment.Sweep(
             query=str(spec["query"]),
             workload=str(spec.get("workload", "zipf")),
@@ -759,6 +762,7 @@ class JobQueue:
             verify=bool(spec.get("verify", False)),
             domain=spec.get("domain"),
             stats=stats,
+            rounds=rounds,
         )
         cells = sweep.cells()
         records = execute_cells(

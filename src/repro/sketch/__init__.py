@@ -20,6 +20,7 @@ from .statistics import (
     SketchConfig,
     SketchedHeavyHitterStatistics,
     build_sketch_set,
+    build_sketch_set_from_stream,
     sketch_fidelity,
 )
 
@@ -34,5 +35,6 @@ __all__ = [
     "SketchConfig",
     "SketchedHeavyHitterStatistics",
     "build_sketch_set",
+    "build_sketch_set_from_stream",
     "sketch_fidelity",
 ]

@@ -342,6 +342,55 @@ def build_sketch_set(
     return merged
 
 
+def build_sketch_set_from_stream(
+    query: ConjunctiveQuery,
+    streams: Mapping[str, Iterable[Tuple]],
+    domains: Mapping[str, int],
+    config: SketchConfig | None = None,
+) -> RelationSketchSet:
+    """Sketch every relation of ``query`` from *unmaterialized* sources.
+
+    The true streaming twin of :func:`build_sketch_set`: ``streams`` maps
+    each relation name to any tuple iterable — a generator over a file, a
+    socket, a cursor — which is consumed exactly once in bounded-size
+    chunks and never materialized as a :class:`~repro.seq.relation.Relation`.
+    ``domains`` declares each relation's domain size ``n`` (a stream
+    cannot be inspected for it up front).  Tuple counts are tallied
+    during the pass and land in
+    :attr:`RelationSketchSet.tuple_counts`, so downstream statistics
+    need no second pass.
+    """
+    config = config or SketchConfig()
+    names = dict.fromkeys(atom.name for atom in query.atoms)
+    missing = [name for name in names if name not in streams]
+    if missing:
+        raise StatisticsError(
+            f"streams are missing relations {missing} of query "
+            f"{query.name!r}"
+        )
+    unknown = [name for name in streams if name not in names]
+    if unknown:
+        raise StatisticsError(
+            f"streams name relations {unknown} that are not atoms of "
+            f"query {query.name!r}"
+        )
+    missing_domains = [name for name in names if name not in domains]
+    if missing_domains:
+        raise StatisticsError(
+            f"domains are missing relations {missing_domains}"
+        )
+    for name, domain in domains.items():
+        if domain < 1:
+            raise StatisticsError(
+                f"domain size for {name!r} must be >= 1, got {domain}"
+            )
+    sketch_set = RelationSketchSet.empty(query, domains, config)
+    for name in names:
+        sketch_set.update_relation(name, streams[name])
+        sketch_set.tuple_counts.setdefault(name, 0)  # empty streams count 0
+    return sketch_set
+
+
 # ----------------------------------------------------------------------
 # the provider
 # ----------------------------------------------------------------------
@@ -394,6 +443,48 @@ class SketchedHeavyHitterStatistics(HeavyHitterLookup):
         with maybe_timed(obs, "stats.sketch_pass", workers=workers):
             sketch_set = build_sketch_set(query, db, config, workers=workers)
         simple = SimpleStatistics.of(db)
+        stats = cls.from_sketch_set(
+            query, simple, sketch_set, p,
+            threshold_factor=threshold_factor, obs=obs,
+        )
+        if obs is not None:
+            obs.set_gauge("sketch.width", config.width)
+            obs.set_gauge("sketch.depth", config.depth)
+            obs.count("sketch.updates", sketch_set.update_count)
+        return stats
+
+    @classmethod
+    def from_stream(
+        cls,
+        query: ConjunctiveQuery,
+        streams: Mapping[str, Iterable[Tuple]],
+        domains: Mapping[str, int],
+        p: int,
+        threshold_factor: float = 1.0,
+        config: SketchConfig | None = None,
+        obs: "Observation | None" = None,
+    ) -> "SketchedHeavyHitterStatistics":
+        """One statistics pass over *unmaterialized* tuple streams.
+
+        Consumes each stream exactly once through
+        :func:`build_sketch_set_from_stream`; relation cardinalities come
+        from the pass's own tuple tally, so no :class:`Database` (or
+        second pass) is ever needed.  ``domains`` maps each relation name
+        to its domain size ``n``.
+        """
+        from ..obs import maybe_timed
+
+        if p < 1:
+            raise StatisticsError("p must be >= 1")
+        config = config or SketchConfig()
+        with maybe_timed(obs, "stats.sketch_pass", workers=1, source="stream"):
+            sketch_set = build_sketch_set_from_stream(
+                query, streams, domains, config
+            )
+        simple = SimpleStatistics.from_cardinalities(
+            query, dict(sketch_set.tuple_counts),
+            max(domains[atom.name] for atom in query.atoms),
+        )
         stats = cls.from_sketch_set(
             query, simple, sketch_set, p,
             threshold_factor=threshold_factor, obs=obs,

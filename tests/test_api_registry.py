@@ -73,6 +73,19 @@ class TestDefaultRegistry:
         assert "hashjoin" not in keys
         assert "hypercube-lp" in keys
 
+    def test_applicable_specs_round_budget(self):
+        # The default budget of 1 keeps the one-round contract; raising
+        # it (or lifting it with None) admits the multi-round specs.
+        one_round = {spec.key for spec in applicable_specs(TRIANGLE)}
+        assert "two-round-triangle" not in one_round
+        two_round = {
+            spec.key for spec in applicable_specs(TRIANGLE, max_rounds=2)
+        }
+        assert {"two-round-triangle", "round-join"} <= two_round
+        assert two_round == {
+            spec.key for spec in applicable_specs(TRIANGLE, max_rounds=None)
+        }
+
     def test_build_rejects_inapplicable(self):
         stats = SimpleStatistics.of(_db(TRIANGLE))
         with pytest.raises(RegistryError, match="not applicable"):

@@ -6,12 +6,17 @@ import json
 import pytest
 
 from repro.api import (
+    BENCH_SUITES,
     BenchError,
     calibrate,
     compare_bench,
+    rounds_gate_failures,
     run_bench,
+    run_rounds_bench,
     run_sketch_bench,
+    run_suite,
     sketch_gate_failures,
+    suite_gate_failures,
     validate_bench,
 )
 from repro.cli import main
@@ -25,6 +30,11 @@ def document():
 @pytest.fixture(scope="module")
 def sketch_document():
     return run_sketch_bench(quick=True, repeats=1)
+
+
+@pytest.fixture(scope="module")
+def rounds_document():
+    return run_rounds_bench(quick=True, repeats=1)
 
 
 class TestRunBench:
@@ -203,6 +213,73 @@ class TestSketchBench:
             compare_bench(document, sketch_document)
 
 
+class TestRoundsBench:
+    def test_document_is_schema_valid(self, rounds_document):
+        validate_bench(rounds_document)
+        assert rounds_document["suite"] == "rounds"
+
+    def test_entries_carry_round_fields(self, rounds_document):
+        seen_rounds = set()
+        for entry in rounds_document["entries"]:
+            seen_rounds.add(entry["rounds"])
+            if entry["rounds"] > 1:
+                assert len(entry["round_load_bits"]) == entry["rounds"]
+            else:
+                assert entry["round_load_bits"] is None
+        # The suite runs the one-round field and the two-round triangle
+        # side by side on every cell.
+        assert seen_rounds == {1, 2}
+
+    def test_gates_pass_on_a_real_run(self, rounds_document):
+        assert rounds_gate_failures(rounds_document) == []
+        summary = rounds_document["summary"]
+        assert summary["two_round_min_speedup_predicted"] > 1.0
+        assert summary["two_round_min_speedup_measured"] > 1.0
+        assert summary["two_round_min_gap"] >= 1.0
+        assert summary["planner_worst_regret"] == pytest.approx(1.0)
+
+    def test_speedup_gate_triggers(self, rounds_document):
+        doctored = copy.deepcopy(rounds_document)
+        doctored["summary"]["two_round_min_speedup_measured"] = 0.8
+        failures = rounds_gate_failures(doctored)
+        assert any("measured" in f for f in failures)
+
+    def test_gap_gate_triggers(self, rounds_document):
+        doctored = copy.deepcopy(rounds_document)
+        doctored["summary"]["two_round_min_gap"] = 0.5
+        failures = rounds_gate_failures(doctored)
+        assert any("lower bound" in f for f in failures)
+
+    def test_self_compare_passes(self, rounds_document):
+        assert compare_bench(rounds_document, rounds_document) == []
+
+    def test_sketch_baseline_is_rejected(self, sketch_document,
+                                         rounds_document):
+        with pytest.raises(BenchError, match="suite"):
+            compare_bench(rounds_document, sketch_document)
+
+
+class TestSuiteDispatch:
+    def test_registry_names_the_three_suites(self):
+        assert list(BENCH_SUITES) == ["core", "sketch", "rounds"]
+
+    def test_unknown_suite_lists_choices(self):
+        with pytest.raises(BenchError) as excinfo:
+            run_suite("quantum")
+        message = str(excinfo.value)
+        for name in BENCH_SUITES:
+            assert name in message
+
+    def test_gate_dispatch_by_document_suite(self, document, sketch_document,
+                                             rounds_document):
+        assert suite_gate_failures(document) == []
+        assert suite_gate_failures(sketch_document) == []
+        assert suite_gate_failures(rounds_document) == []
+        doctored = copy.deepcopy(rounds_document)
+        doctored["summary"]["two_round_min_speedup_predicted"] = 0.5
+        assert suite_gate_failures(doctored) != []
+
+
 class TestBenchCommand:
     def test_emits_schema_valid_document(self, tmp_path, capsys):
         output = tmp_path / "BENCH_core.json"
@@ -275,6 +352,17 @@ class TestBenchCommand:
             "--baseline", str(doctored), "-q",
         ]) == 1
         assert "REGRESSION" in capsys.readouterr().err
+
+    def test_rounds_suite_emits_gated_document(self, tmp_path):
+        output = tmp_path / "BENCH_rounds.json"
+        assert main([
+            "bench", "--suite", "rounds", "--quick",
+            "--output", str(output), "-q",
+        ]) == 0
+        payload = json.loads(output.read_text())
+        validate_bench(payload)
+        assert payload["suite"] == "rounds"
+        assert rounds_gate_failures(payload) == []
 
     def test_unknown_suite_rejected(self):
         with pytest.raises(SystemExit):

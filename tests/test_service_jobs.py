@@ -1,5 +1,6 @@
 """The fault-isolated cell executor and the service job queue."""
 
+import threading
 import time
 
 import pytest
@@ -327,6 +328,106 @@ class TestJobQueueUnit:
         assert queue.status(bad.id)["state"] == "failed"
         assert queue.status(bad.id)["error"]
         assert queue.status(good.id)["state"] == "done"
+        queue.shutdown()
+
+    def test_concurrent_submits_at_capacity(self):
+        """Racing submits at a full queue: exactly ``queue_size`` win,
+        every loser gets :class:`BackpressureError`, and the job table
+        holds exactly the winners (no half-registered losers)."""
+        queue = JobQueue(queue_size=4, workers=0)
+        contenders = 12
+        start = threading.Barrier(contenders)
+        lock = threading.Lock()
+        accepted, rejected, surprises = [], [], []
+
+        def submit():
+            start.wait(timeout=30)
+            try:
+                job = queue.submit("plan", {"query": JOIN_TEXT})
+            except BackpressureError as exc:
+                with lock:
+                    rejected.append(exc)
+            except Exception as exc:  # pragma: no cover - test diagnostics
+                with lock:
+                    surprises.append(exc)
+            else:
+                with lock:
+                    accepted.append(job)
+
+        threads = [threading.Thread(target=submit) for _ in range(contenders)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not surprises
+        assert len(accepted) == 4
+        assert len(rejected) == contenders - 4
+        counters = queue.obs.metrics.counters
+        assert counters["service.jobs.rejected"].value == contenders - 4
+        table = queue.jobs()
+        assert {entry["id"] for entry in table} == {j.id for j in accepted}
+        assert all(entry["state"] == "queued" for entry in table)
+        queue.shutdown()
+
+    def _gate_runs(self, queue, gate):
+        """Make every job block on ``gate`` instead of doing real work."""
+        def run(job):
+            gate.wait(timeout=30)
+            return {"ran": job.id}
+        queue._run = run
+
+    def _wait_running(self, queue, job, timeout=30.0):
+        deadline = time.time() + timeout
+        while time.time() < deadline:
+            if queue.status(job.id)["state"] == "running":
+                return
+            time.sleep(0.01)
+        raise AssertionError(f"job {job.id} never started running")
+
+    def test_backpressure_then_fifo_drain_order(self):
+        """Submits past capacity are rejected without disturbing the
+        queue: once the worker unblocks, the accepted jobs run in
+        submission order."""
+        gate = threading.Event()
+        queue = JobQueue(queue_size=3, workers=1)
+        self._gate_runs(queue, gate)
+        blocker = queue.submit("plan", {"query": JOIN_TEXT})
+        self._wait_running(queue, blocker)   # capacity is now exactly 3
+        queued = [queue.submit("plan", {"query": JOIN_TEXT})
+                  for _ in range(3)]
+        with pytest.raises(BackpressureError, match="full"):
+            queue.submit("plan", {"query": JOIN_TEXT})
+        gate.set()
+        assert queue.join(timeout=60)
+        for job in [blocker, *queued]:
+            assert queue.status(job.id)["state"] == "done"
+        starts = [queue.get(job.id).started_at for job in queued]
+        assert starts == sorted(starts)
+        queue.shutdown()
+
+    def test_cancel_queued_job_never_leaks_the_worker(self):
+        """Cancelling a queued job must not consume the worker that
+        eventually drains it: the cancelled job is skipped unstarted and
+        later jobs (including post-cancel submissions) still run."""
+        gate = threading.Event()
+        queue = JobQueue(queue_size=8, workers=1)
+        self._gate_runs(queue, gate)
+        blocker = queue.submit("plan", {"query": JOIN_TEXT})
+        self._wait_running(queue, blocker)
+        doomed = queue.submit("plan", {"query": JOIN_TEXT})
+        survivor = queue.submit("plan", {"query": JOIN_TEXT})
+        assert queue.cancel(doomed.id) is True
+        gate.set()
+        assert queue.join(timeout=60)
+        assert queue.status(blocker.id)["state"] == "done"
+        assert queue.status(doomed.id)["state"] == "cancelled"
+        assert queue.get(doomed.id).started_at is None  # never ran
+        assert queue.status(survivor.id)["state"] == "done"
+        # The worker thread survived the cancelled job and still serves.
+        assert all(thread.is_alive() for thread in queue._threads)
+        extra = queue.submit("plan", {"query": JOIN_TEXT})
+        assert queue.join(timeout=60)
+        assert queue.status(extra.id)["state"] == "done"
         queue.shutdown()
 
     def test_sweep_job_reports_failures(self, poison_registry):

@@ -15,6 +15,7 @@ from repro.sketch import (
     SketchConfig,
     SketchedHeavyHitterStatistics,
     build_sketch_set,
+    build_sketch_set_from_stream,
     sketch_fidelity,
 )
 from repro.stats import (
@@ -152,6 +153,84 @@ class TestSketchedStatistics:
         db = Database.from_relations([relation])
         with pytest.raises(StatisticsError, match="2\\^61"):
             SketchedHeavyHitterStatistics.of(query, db, p=4)
+
+
+class TestStreamBuild:
+    """build_sketch_set_from_stream: sketching without a Database."""
+
+    def _streams(self, zipf_db):
+        # Generators, not Relations: each is consumed exactly once.
+        return {
+            name: (tuple(row) for row in zipf_db.relation(name).tuples)
+            for name in ("S1", "S2")
+        }
+
+    def _domains(self, zipf_db):
+        return {name: zipf_db.relation(name).domain_size for name in ("S1", "S2")}
+
+    def test_stream_build_is_bit_identical_to_materialized(
+            self, query, zipf_db):
+        config = SketchConfig()
+        materialized = build_sketch_set(query, zipf_db, config)
+        streamed = build_sketch_set_from_stream(
+            query, self._streams(zipf_db), self._domains(zipf_db), config)
+        assert set(streamed.sketches) == set(materialized.sketches)
+        for key, mine in streamed.sketches.items():
+            theirs = materialized.sketches[key]
+            for level_mine, level_theirs in zip(mine.sketches,
+                                                theirs.sketches):
+                assert np.array_equal(level_mine.table, level_theirs.table)
+        assert streamed.tuple_counts == {
+            name: len(zipf_db.relation(name)) for name in ("S1", "S2")
+        }
+
+    def test_from_stream_matches_database_build(self, query, zipf_db):
+        p = 16
+        from_db = SketchedHeavyHitterStatistics.of(query, zipf_db, p)
+        from_stream = SketchedHeavyHitterStatistics.from_stream(
+            query, self._streams(zipf_db), self._domains(zipf_db), p)
+        for atom in query.atoms:
+            assert (from_stream.simple.cardinality(atom.name)
+                    == from_db.simple.cardinality(atom.name))
+        fidelity = sketch_fidelity(
+            HeavyHitterStatistics.of(query, zipf_db, p), from_stream)
+        assert fidelity["recall"] == 1.0
+
+    def test_empty_stream_counts_zero(self, query):
+        streams = {"S1": iter(()), "S2": iter([(0, 1)])}
+        sketch_set = build_sketch_set_from_stream(
+            query, streams, {"S1": 10, "S2": 10})
+        assert sketch_set.tuple_counts == {"S1": 0, "S2": 1}
+
+    def test_missing_stream_is_an_error(self, query):
+        with pytest.raises(StatisticsError, match="missing relations"):
+            build_sketch_set_from_stream(query, {"S1": []}, {"S1": 10,
+                                                             "S2": 10})
+
+    def test_unknown_stream_is_an_error(self, query):
+        streams = {"S1": [], "S2": [], "Ghost": []}
+        with pytest.raises(StatisticsError, match="not atoms"):
+            build_sketch_set_from_stream(
+                query, streams, {"S1": 10, "S2": 10})
+
+    def test_missing_or_bad_domain_is_an_error(self, query):
+        with pytest.raises(StatisticsError, match="domains are missing"):
+            build_sketch_set_from_stream(
+                query, {"S1": [], "S2": []}, {"S1": 10})
+        with pytest.raises(StatisticsError, match=">= 1"):
+            build_sketch_set_from_stream(
+                query, {"S1": [], "S2": []}, {"S1": 10, "S2": 0})
+
+    def test_from_stream_records_the_pass(self, query, zipf_db):
+        obs = Observation.create()
+        SketchedHeavyHitterStatistics.from_stream(
+            query, self._streams(zipf_db), self._domains(zipf_db), 16,
+            obs=obs)
+        spans = [span for span in obs.tracer.spans
+                 if span.name == "stats.sketch_pass"]
+        assert len(spans) == 1
+        assert spans[0].attrs["source"] == "stream"
+        assert obs.metrics.to_dict()["counters"]["sketch.updates"] > 0
 
 
 class TestPlannerIntegration:
